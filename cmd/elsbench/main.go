@@ -1,0 +1,138 @@
+// Command elsbench runs the paper's experiments end-to-end and prints the
+// reproduced tables.
+//
+// Usage:
+//
+//	elsbench [-experiment all|section8|examples|chain|zipf|urn|random]
+//	         [-scale N] [-seed N] [-estimates-only]
+//
+// The default runs everything. -scale divides the Section 8 table sizes
+// (scale 1 is the paper's full size; 10 is a fast smoke test).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		which     = flag.String("experiment", "all", "experiment to run: all, section8, examples, indexed, chain, zipf, urn, sampled, independence, random")
+		scale     = flag.Int("scale", 1, "divide the Section 8 table sizes by this factor")
+		seed      = flag.Int64("seed", 42, "random seed for data generation")
+		estimates = flag.Bool("estimates-only", false, "skip data generation and execution (Section 8)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *which, *scale, *seed, *estimates); err != nil {
+		fmt.Fprintln(os.Stderr, "elsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, which string, scale int, seed int64, estimatesOnly bool) error {
+	all := which == "all"
+	ran := false
+
+	if all || which == "examples" {
+		ran = true
+		examples, err := experiment.RunWorkedExamples()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiment.FormatWorkedExamples(examples))
+		fmt.Fprintln(w)
+	}
+	if all || which == "section8" {
+		ran = true
+		res, err := experiment.RunSection8(experiment.Section8Options{
+			Scale: scale, Seed: seed, SkipExecution: estimatesOnly,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiment.FormatSection8(res))
+		fmt.Fprintln(w)
+		for _, row := range res.Rows {
+			fmt.Fprintf(w, "--- %s / %s plan:\n%s\n", row.Query, row.Algorithm, row.Plan)
+		}
+	}
+	if all || which == "indexed" {
+		ran = true
+		if estimatesOnly {
+			fmt.Fprintln(w, "(indexed experiment skipped: requires execution)")
+		} else {
+			res, err := experiment.RunSection8(experiment.Section8Options{
+				Scale: scale, Seed: seed, WithIndexes: true,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "A6: Section 8 with ordered indexes on all join columns (index NL enabled)")
+			fmt.Fprint(w, experiment.FormatSection8(res))
+			fmt.Fprintln(w)
+		}
+	}
+	if all || which == "chain" {
+		ran = true
+		rows, err := experiment.RunChainLengthSweep(8, 30, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiment.FormatChainLengthSweep(rows))
+		fmt.Fprintln(w)
+	}
+	if all || which == "zipf" {
+		ran = true
+		rows, err := experiment.RunZipfSweep(2000, 5000, 500, []float64{0, 0.25, 0.5, 0.75, 1.0}, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiment.FormatZipfSweep(rows))
+		fmt.Fprintln(w)
+	}
+	if all || which == "urn" {
+		ran = true
+		rows, err := experiment.RunUrnVsLinear(100000, 10000,
+			[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiment.FormatUrnVsLinear(rows))
+		fmt.Fprintln(w)
+	}
+	if all || which == "sampled" {
+		ran = true
+		rows, err := experiment.RunSampledStats(20000, []int{500, 2000, 10000}, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiment.FormatSampledStats(rows))
+		fmt.Fprintln(w)
+	}
+	if all || which == "independence" {
+		ran = true
+		rows, err := experiment.RunIndependenceSweep(100000, 200, 0.2, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiment.FormatIndependenceSweep(rows))
+		fmt.Fprintln(w)
+	}
+	if all || which == "random" {
+		ran = true
+		rows, err := experiment.RunRandomQueries(30, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiment.FormatRandomQueries(rows))
+		fmt.Fprintln(w)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

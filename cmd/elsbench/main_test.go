@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSection8Experiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "section8", 100, 42, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Section 8 experiment", "ELS", "SSS", "plan:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("section8 output missing %q", want)
+		}
+	}
+}
+
+func TestRunEstimatesOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "section8", 1, 42, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4e-21") {
+		t.Errorf("estimates-only output missing the paper value 4e-21:\n%s", out)
+	}
+	// Indexed experiment is skipped without execution.
+	buf.Reset()
+	if err := run(&buf, "indexed", 1, 42, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "skipped") {
+		t.Errorf("indexed + estimates-only should announce the skip:\n%s", buf.String())
+	}
+}
+
+func TestRunExamples(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "examples", 1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "MISMATCH") {
+		t.Errorf("worked examples mismatched:\n%s", buf.String())
+	}
+}
+
+func TestRunSmallAblations(t *testing.T) {
+	for _, which := range []string{"urn", "independence", "sampled"} {
+		var buf bytes.Buffer
+		if err := run(&buf, which, 1, 3, false); err != nil {
+			t.Fatalf("%s: %v", which, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", which)
+		}
+	}
+}
+
+func TestRunLargeAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-second ablations in -short mode")
+	}
+	for _, which := range []string{"chain", "zipf", "random", "indexed"} {
+		var buf bytes.Buffer
+		if err := run(&buf, which, 10, 3, false); err != nil {
+			t.Fatalf("%s: %v", which, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", which)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", 1, 1, false); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestParseTableSpec(t *testing.T) {
+	name, card, cols, err := parseTableSpec("S:1000:s=1000,t=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "S" || card != 1000 {
+		t.Errorf("name=%q card=%g", name, card)
+	}
+	if cols["s"] != 1000 || cols["t"] != 50 {
+		t.Errorf("cols = %v", cols)
+	}
+	// No columns is allowed.
+	name, card, cols, err = parseTableSpec("T:10")
+	if err != nil || name != "T" || card != 10 || len(cols) != 0 {
+		t.Errorf("minimal spec: %q %g %v %v", name, card, cols, err)
+	}
+	// Whitespace tolerated.
+	name, _, cols, err = parseTableSpec(" U :5: a = 3")
+	if err != nil || name != "U" || cols["a"] != 3 {
+		t.Errorf("whitespace spec: %q %v %v", name, cols, err)
+	}
+}
+
+func TestParseTableSpecErrors(t *testing.T) {
+	for _, spec := range []string{"", "noparts", "T:abc", "T:10:bad", "T:10:a=xx"} {
+		if _, _, _, err := parseTableSpec(spec); err == nil {
+			t.Errorf("%q should fail", spec)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil, "", ""); err == nil {
+		t.Error("missing -sql should error")
+	}
+	if err := run([]string{"bad"}, "SELECT COUNT(*) FROM S", ""); err == nil {
+		t.Error("bad table spec should error")
+	}
+	if err := run(nil, "SELECT COUNT(*) FROM S", "nope"); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+	if err := run(nil, "not sql", "ELS"); err == nil {
+		t.Error("bad SQL should error")
+	}
+	// The default Section 8 catalog works end to end.
+	if err := run(nil, "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100", "ELS"); err != nil {
+		t.Errorf("default run failed: %v", err)
+	}
+	// Duplicate declaration via AddTable replacement is fine.
+	if err := run([]string{"A:10:x=5", "B:20:y=10"}, "SELECT COUNT(*) FROM A, B WHERE A.x = B.y", ""); err != nil {
+		t.Errorf("custom catalog run failed: %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+// Command elsgen generates synthetic integer datasets as CSV on stdout,
+// using the same seeded generators the experiments use. It exists so the
+// workloads are inspectable and reusable outside the Go test harness.
+//
+// Usage:
+//
+//	elsgen -rows 10000 -cols "k:uniform:100,v:zipf:1000:0.9" [-seed 42] [-header]
+//
+// Each column spec is name:distribution:domain[:theta] with distribution
+// one of uniform, zipf, permutation, sequential (permutation ignores the
+// domain and uses the row count).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/datagen"
+)
+
+func main() {
+	rows := flag.Int("rows", 1000, "number of rows")
+	cols := flag.String("cols", "k:uniform:100", "column specs name:dist:domain[:theta], comma separated")
+	seed := flag.Int64("seed", 42, "generator seed")
+	header := flag.Bool("header", false, "emit a CSV header row")
+	flag.Parse()
+
+	if err := run(*rows, *cols, *seed, *header, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "elsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rows int, cols string, seed int64, header bool, w io.Writer) error {
+	spec := datagen.TableSpec{Name: "gen", Rows: rows}
+	var names []string
+	for _, c := range strings.Split(cols, ",") {
+		cs, err := parseColumnSpec(strings.TrimSpace(c))
+		if err != nil {
+			return err
+		}
+		spec.Columns = append(spec.Columns, cs)
+		names = append(names, cs.Name)
+	}
+	tbl, err := datagen.Generate(spec, seed)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	if header {
+		fmt.Fprintln(out, strings.Join(names, ","))
+	}
+	for r := 0; r < tbl.NumRows(); r++ {
+		for c := 0; c < len(names); c++ {
+			if c > 0 {
+				out.WriteByte(',')
+			}
+			fmt.Fprintf(out, "%d", tbl.Value(r, c).Int())
+		}
+		out.WriteByte('\n')
+	}
+	return nil
+}
+
+func parseColumnSpec(s string) (datagen.ColumnSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 {
+		return datagen.ColumnSpec{}, fmt.Errorf("bad column spec %q (want name:dist:domain[:theta])", s)
+	}
+	cs := datagen.ColumnSpec{Name: parts[0]}
+	switch strings.ToLower(parts[1]) {
+	case "uniform":
+		cs.Dist = datagen.DistUniform
+	case "zipf":
+		cs.Dist = datagen.DistZipf
+	case "permutation":
+		cs.Dist = datagen.DistPermutation
+	case "sequential":
+		cs.Dist = datagen.DistSequential
+	default:
+		return datagen.ColumnSpec{}, fmt.Errorf("unknown distribution %q in %q", parts[1], s)
+	}
+	if len(parts) >= 3 && cs.Dist != datagen.DistPermutation {
+		d, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return datagen.ColumnSpec{}, fmt.Errorf("bad domain in %q: %v", s, err)
+		}
+		cs.Domain = d
+	}
+	if len(parts) >= 4 {
+		t, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return datagen.ColumnSpec{}, fmt.Errorf("bad theta in %q: %v", s, err)
+		}
+		cs.Theta = t
+	}
+	return cs, nil
+}

@@ -1,0 +1,57 @@
+// Command elsrepl is an interactive shell for the estimation system: load
+// CSV data or declare statistics, pick an estimation algorithm, and
+// explain, estimate, or execute queries. Type "help" inside the shell.
+//
+// A script can be piped on stdin:
+//
+//	echo 'declare R 1000 x=100
+//	      estimate SELECT COUNT(*) FROM R WHERE x < 10' | elsrepl
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"repro/internal/repl"
+)
+
+func main() {
+	p := repl.New(os.Stdout)
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("els repl — type 'help' for commands")
+	}
+	for {
+		if interactive {
+			fmt.Print("els> ")
+		}
+		if !in.Scan() {
+			break
+		}
+		quit, err := p.Execute(in.Text())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elsrepl:", err)
+			os.Exit(1)
+		}
+		if quit {
+			break
+		}
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "elsrepl:", err)
+		os.Exit(1)
+	}
+}
+
+// isTerminal reports whether stdin looks interactive (best-effort, stdlib
+// only: a character device is a terminal, a pipe or file is not).
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,54 @@
+package els
+
+import (
+	"sync"
+	"testing"
+)
+
+// A System is safe for concurrent read-only use once loading is complete:
+// many goroutines estimating and executing against the same catalog and
+// data must not race (verified under -race) and must agree on results.
+func TestConcurrentQueries(t *testing.T) {
+	sys := New()
+	for i, name := range []string{"A", "B", "C"} {
+		if err := sys.GenerateTable(name, "k", "uniform", 300, 30, 0, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sql := "SELECT COUNT(*) FROM A, B, C WHERE A.k = B.k AND B.k = C.k"
+	baseline, err := sys.Query(sql, AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*2)
+	counts := make(chan int64, workers*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(algo Algorithm) {
+			defer wg.Done()
+			res, err := sys.Query(sql, algo)
+			if err != nil {
+				errs <- err
+				return
+			}
+			counts <- res.Count
+			if _, err := sys.Estimate(sql, algo); err != nil {
+				errs <- err
+			}
+		}(Algorithms()[w%4])
+	}
+	wg.Wait()
+	close(errs)
+	close(counts)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for c := range counts {
+		if c != baseline.Count {
+			t.Errorf("concurrent count %d != baseline %d", c, baseline.Count)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package els
+
+import (
+	"math"
+	"testing"
+)
+
+// End-to-end OR support (the paper's "queries involving disjunctions"
+// future work): parse, estimate, plan and execute a query whose WHERE
+// clause mixes a conjunction with an OR-group.
+func TestQueryWithDisjunction(t *testing.T) {
+	sys := New()
+	var rows [][]int64
+	// 100 rows: k cycles 0..9, v = i.
+	for i := int64(0); i < 100; i++ {
+		rows = append(rows, []int64{i % 10, i})
+	}
+	if err := sys.LoadTable("T", []string{"k", "v"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query("SELECT COUNT(*) FROM T WHERE (k = 1 OR k = 2) AND v < 50", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1 or k=2 keeps 20 rows, half have v < 50.
+	if res.Count != 10 {
+		t.Errorf("count = %d, want 10", res.Count)
+	}
+	// The estimate should be in the right ballpark: 100 × (1-(0.9)²) × 0.5 = 9.5.
+	est := res.Estimate.FinalSize
+	if math.Abs(est-9.5) > 0.6 {
+		t.Errorf("estimate = %g, want ≈9.5", est)
+	}
+}
+
+func TestQueryDisjunctionWithJoin(t *testing.T) {
+	sys := New()
+	var a, b [][]int64
+	for i := int64(0); i < 60; i++ {
+		a = append(a, []int64{i % 6, i})
+	}
+	for i := int64(0); i < 30; i++ {
+		b = append(b, []int64{i % 6, i})
+	}
+	if err := sys.LoadTable("A", []string{"k", "v"}, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadTable("B", []string{"k", "w"}, b); err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT COUNT(*) FROM A, B WHERE A.k = B.k AND (A.v = 0 OR A.v = 6)"
+	// Brute truth: A rows with v∈{0,6} are two rows with k=0; B has 5 rows
+	// with k=0 → 10.
+	for _, algo := range []Algorithm{AlgorithmELS, AlgorithmSM, AlgorithmSSS} {
+		res, err := sys.Query(sql, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if res.Count != 10 {
+			t.Errorf("%s count = %d, want 10", algo, res.Count)
+		}
+	}
+	// Estimation-only path also works.
+	est, err := sys.Estimate(sql, AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.FinalSize <= 0 {
+		t.Errorf("estimate = %g", est.FinalSize)
+	}
+}
+
+func TestEstimateDisjunctionReducesCard(t *testing.T) {
+	sys := New()
+	sys.MustDeclareStats("R", 1000, map[string]float64{"x": 10})
+	with, err := sys.Estimate("SELECT COUNT(*) FROM R WHERE x = 1 OR x = 2", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 × (1 − 0.9²) = 190.
+	if math.Abs(with.FinalSize-190) > 1e-9 {
+		t.Errorf("OR estimate = %g, want 190", with.FinalSize)
+	}
+	without, _ := sys.Estimate("SELECT COUNT(*) FROM R", AlgorithmELS)
+	if without.FinalSize != 1000 {
+		t.Errorf("baseline = %g", without.FinalSize)
+	}
+}

@@ -1,0 +1,338 @@
+// Package els is a Go implementation of Algorithm ELS from "On the
+// Estimation of Join Result Sizes" (Swami & Schiefer, EDBT 1994), packaged
+// as a small analytical query system: an in-memory relational store, an
+// ANALYZE-style statistics collector, a SQL front end for conjunctive
+// select-project-join queries, a System-R style optimizer whose cardinality
+// estimator is pluggable, and an executor.
+//
+// The headline API is estimation: given table statistics and a query, the
+// system estimates intermediate join result sizes under any of the paper's
+// algorithms — the multiplicative Rule M of Selinger et al. (Algorithm SM),
+// the smallest-selectivity Rule SS (Algorithm SSS), the
+// representative-selectivity proposal, and the paper's Algorithm ELS
+// (equivalence classes + effective statistics + largest-selectivity Rule
+// LS) — and can then plan and execute the query so the impact of the
+// estimates on real plans is observable.
+//
+// A minimal session:
+//
+//	sys := els.New()
+//	sys.MustDeclareStats("R1", 100, map[string]float64{"x": 10})
+//	sys.MustDeclareStats("R2", 1000, map[string]float64{"y": 100})
+//	sys.MustDeclareStats("R3", 1000, map[string]float64{"z": 1000})
+//	est, _ := sys.Estimate("SELECT COUNT(*) FROM R1, R2, R3 WHERE x = y AND y = z", els.AlgorithmELS)
+//	fmt.Println(est.FinalSize) // 1000
+package els
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cardest"
+	"repro/internal/catalog"
+	"repro/internal/csvload"
+	"repro/internal/datagen"
+	"repro/internal/selest"
+	"repro/internal/storage"
+)
+
+// Algorithm selects the estimation algorithm, following the naming of the
+// paper's Section 8 experiment.
+type Algorithm int
+
+const (
+	// AlgorithmELS is the paper's algorithm: transitive closure, effective
+	// statistics (local predicates folded per Section 5, single-table
+	// j-equivalent columns per Section 6) and largest-selectivity Rule LS.
+	AlgorithmELS Algorithm = iota
+	// AlgorithmSM is the standard multiplicative algorithm (Selinger):
+	// raw column cardinalities, Rule M, no transitive closure.
+	AlgorithmSM
+	// AlgorithmSMPTC is AlgorithmSM run after predicate transitive closure
+	// (the paper's "Orig. + PTC" rows).
+	AlgorithmSMPTC
+	// AlgorithmSSS is the smallest-selectivity algorithm after transitive
+	// closure.
+	AlgorithmSSS
+	// AlgorithmRepSmallest is the representative-selectivity proposal of
+	// Section 3.3 using the smallest pairwise selectivity per class.
+	AlgorithmRepSmallest
+	// AlgorithmRepLargest is the representative-selectivity proposal using
+	// the largest pairwise selectivity per class.
+	AlgorithmRepLargest
+	// AlgorithmELSHist is Algorithm ELS with histogram-based join
+	// selectivities: the uniformity assumption for join columns is relaxed
+	// using per-column histograms when available (the paper's Section 9
+	// future-work extension). Tables loaded with LoadTableHist or analyzed
+	// with histograms benefit; others fall back to Equation 2.
+	AlgorithmELSHist
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmELS:
+		return "ELS"
+	case AlgorithmSM:
+		return "SM"
+	case AlgorithmSMPTC:
+		return "SM+PTC"
+	case AlgorithmSSS:
+		return "SSS+PTC"
+	case AlgorithmRepSmallest:
+		return "REP(smallest)"
+	case AlgorithmRepLargest:
+		return "REP(largest)"
+	case AlgorithmELSHist:
+		return "ELS+hist"
+	default:
+		return "unknown"
+	}
+}
+
+// Config returns the internal estimator configuration for the algorithm.
+func (a Algorithm) config() (cardest.Config, error) {
+	switch a {
+	case AlgorithmELS:
+		return cardest.ELS(), nil
+	case AlgorithmSM:
+		return cardest.SM(), nil
+	case AlgorithmSMPTC:
+		return cardest.SM().WithClosure(), nil
+	case AlgorithmSSS:
+		return cardest.SSS().WithClosure(), nil
+	case AlgorithmRepSmallest:
+		return cardest.Config{Rule: cardest.RuleRepresentative, ApplyClosure: true,
+			Rep: cardest.RepSmallest, Sel: selest.DefaultOptions()}, nil
+	case AlgorithmRepLargest:
+		return cardest.Config{Rule: cardest.RuleRepresentative, ApplyClosure: true,
+			Rep: cardest.RepLargest, Sel: selest.DefaultOptions()}, nil
+	case AlgorithmELSHist:
+		cfg := cardest.ELS()
+		cfg.Sel.HistogramJoins = true
+		return cfg, nil
+	default:
+		return cardest.Config{}, fmt.Errorf("els: unknown algorithm %d", int(a))
+	}
+}
+
+// Algorithms lists every supported algorithm in a stable order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgorithmELS, AlgorithmSM, AlgorithmSMPTC, AlgorithmSSS,
+		AlgorithmRepSmallest, AlgorithmRepLargest, AlgorithmELSHist}
+}
+
+// System is a self-contained instance: catalog, optional data tables, and
+// the estimation/planning/execution pipeline.
+type System struct {
+	cat *catalog.Catalog
+}
+
+// New creates an empty system.
+func New() *System {
+	return &System{cat: catalog.New()}
+}
+
+// DeclareStats registers a table by statistics only (no data): rows is the
+// table cardinality ‖R‖ and distinct maps column names to column
+// cardinalities d. Columns are integer-typed with value domain
+// [0, d−1], matching the uniformity setup of the paper's examples.
+// Estimation works on declared tables; execution requires loaded data.
+func (s *System) DeclareStats(name string, rows float64, distinct map[string]float64) error {
+	if name == "" {
+		return fmt.Errorf("els: table name required")
+	}
+	if rows < 0 {
+		return fmt.Errorf("els: negative cardinality")
+	}
+	return s.cat.AddTable(catalog.SimpleTable(name, rows, distinct))
+}
+
+// MustDeclareStats is DeclareStats but panics on error.
+func (s *System) MustDeclareStats(name string, rows float64, distinct map[string]float64) {
+	if err := s.DeclareStats(name, rows, distinct); err != nil {
+		panic(err)
+	}
+}
+
+// LoadTable creates an integer table with the given column names, loads the
+// rows, and ANALYZEs it (exact statistics, no histograms). Use
+// LoadTableHist to additionally build histograms.
+func (s *System) LoadTable(name string, columns []string, rows [][]int64) error {
+	return s.loadTable(name, columns, rows, catalog.AnalyzeOptions{})
+}
+
+// LoadTableHist is LoadTable with equi-depth histograms of the given bucket
+// budget collected per column, enabling distribution statistics for local
+// predicate selectivities (Section 5).
+func (s *System) LoadTableHist(name string, columns []string, rows [][]int64, buckets int) error {
+	return s.loadTable(name, columns, rows, catalog.AnalyzeOptions{
+		HistogramBuckets: buckets, HistogramKind: catalog.EquiDepth,
+	})
+}
+
+func (s *System) loadTable(name string, columns []string, rows [][]int64, opts catalog.AnalyzeOptions) error {
+	if name == "" {
+		return fmt.Errorf("els: table name required")
+	}
+	if len(columns) == 0 {
+		return fmt.Errorf("els: at least one column required")
+	}
+	defs := make([]storage.ColumnDef, len(columns))
+	for i, c := range columns {
+		defs[i] = storage.ColumnDef{Name: c, Type: storage.TypeInt64}
+	}
+	schema, err := storage.NewSchema(defs...)
+	if err != nil {
+		return fmt.Errorf("els: %w", err)
+	}
+	tbl := storage.NewTable(name, schema)
+	vals := make([]storage.Value, len(columns))
+	for ri, row := range rows {
+		if len(row) != len(columns) {
+			return fmt.Errorf("els: row %d has %d values, want %d", ri, len(row), len(columns))
+		}
+		for ci, v := range row {
+			vals[ci] = storage.Int64(v)
+		}
+		if err := tbl.AppendRow(vals...); err != nil {
+			return fmt.Errorf("els: %w", err)
+		}
+	}
+	_, err = s.cat.Analyze(tbl, opts)
+	return err
+}
+
+// LoadCSV reads a CSV file into a new table (types inferred per column:
+// int64 → float64 → string) and ANALYZEs it; histBuckets > 0 additionally
+// builds equi-depth histograms. header consumes the first row as column
+// names.
+func (s *System) LoadCSV(name, path string, header bool, histBuckets int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("els: %w", err)
+	}
+	defer f.Close()
+	return s.LoadCSVReader(name, f, header, histBuckets)
+}
+
+// LoadCSVReader is LoadCSV from an arbitrary reader.
+func (s *System) LoadCSVReader(name string, r io.Reader, header bool, histBuckets int) error {
+	tbl, err := csvload.Load(name, r, csvload.Options{Header: header, NullToken: "NULL"})
+	if err != nil {
+		return err
+	}
+	opts := catalog.AnalyzeOptions{}
+	if histBuckets > 0 {
+		opts = catalog.AnalyzeOptions{HistogramBuckets: histBuckets, HistogramKind: catalog.EquiDepth}
+	}
+	_, err = s.cat.Analyze(tbl, opts)
+	return err
+}
+
+// GenerateTable synthesizes and loads a table whose named column follows
+// the given distribution ("uniform", "zipf", "permutation", "sequential")
+// over [0, domain); theta is the Zipf skew. A uniform payload column named
+// "payload" is added. The table is ANALYZEd after generation.
+func (s *System) GenerateTable(name, column, dist string, rows, domain int, theta float64, seed int64) error {
+	var d datagen.Distribution
+	switch strings.ToLower(dist) {
+	case "uniform":
+		d = datagen.DistUniform
+	case "zipf":
+		d = datagen.DistZipf
+	case "permutation":
+		d = datagen.DistPermutation
+		domain = rows
+	case "sequential":
+		d = datagen.DistSequential
+	default:
+		return fmt.Errorf("els: unknown distribution %q", dist)
+	}
+	tbl, err := datagen.Generate(datagen.TableSpec{
+		Name: name,
+		Rows: rows,
+		Columns: []datagen.ColumnSpec{
+			{Name: column, Dist: d, Domain: domain, Theta: theta},
+			{Name: "payload", Dist: datagen.DistUniform, Domain: 1 << 20},
+		},
+	}, seed)
+	if err != nil {
+		return err
+	}
+	_, err = s.cat.Analyze(tbl, catalog.AnalyzeOptions{})
+	return err
+}
+
+// BuildIndex constructs an ordered index over a loaded table's column.
+// Once any index exists, the optimizer's repertoire grows to include the
+// index-nested-loops join method, which probes the index once per outer
+// row instead of rescanning the inner table.
+func (s *System) BuildIndex(table, column string) error {
+	return s.cat.BuildIndex(table, column)
+}
+
+// ExportStats writes the catalog's statistics as JSON (data and indexes
+// are not serialized) — a portable artifact for sharing optimizer
+// statistics between runs and tools.
+func (s *System) ExportStats(w io.Writer) error { return s.cat.ExportJSON(w) }
+
+// ImportStats loads statistics previously written by ExportStats,
+// replacing same-named tables.
+func (s *System) ImportStats(r io.Reader) error { return s.cat.ImportJSON(r) }
+
+// Tables returns the registered table names in registration order.
+func (s *System) Tables() []string { return s.cat.TableNames() }
+
+// hasAnyIndex reports whether any index has been built, which switches the
+// optimizer repertoire to include IndexNL.
+func (s *System) hasAnyIndex() bool {
+	for _, name := range s.cat.TableNames() {
+		ts := s.cat.Table(name)
+		for _, cs := range ts.Columns {
+			if s.cat.HasIndex(name, cs.Name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TableCard returns the cardinality statistic of a table.
+func (s *System) TableCard(name string) (float64, error) {
+	ts := s.cat.Table(name)
+	if ts == nil {
+		return 0, fmt.Errorf("els: unknown table %q", name)
+	}
+	return ts.Card, nil
+}
+
+// TableColumns returns the column names of a registered table (sorted).
+func (s *System) TableColumns(name string) ([]string, error) {
+	ts := s.cat.Table(name)
+	if ts == nil {
+		return nil, fmt.Errorf("els: unknown table %q", name)
+	}
+	out := make([]string, 0, len(ts.Columns))
+	for _, cs := range ts.Columns {
+		out = append(out, cs.Name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ColumnDistinct returns the column cardinality statistic d of a column.
+func (s *System) ColumnDistinct(table, column string) (float64, error) {
+	ts := s.cat.Table(table)
+	if ts == nil {
+		return 0, fmt.Errorf("els: unknown table %q", table)
+	}
+	cs := ts.Column(column)
+	if cs == nil {
+		return 0, fmt.Errorf("els: table %q has no column %q", table, column)
+	}
+	return cs.Distinct, nil
+}

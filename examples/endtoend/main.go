@@ -1,0 +1,75 @@
+// Endtoend reproduces the paper's Section 8 experiment through the public
+// API: generate the S/M/B/G tables, plan the experiment query under every
+// algorithm, execute each chosen plan, and compare estimates, work and wall
+// time. It also runs the full experiment harness to print the paper-style
+// table.
+//
+// Run with: go run ./examples/endtoend [-scale 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	els "repro"
+	"repro/internal/experiment"
+)
+
+func main() {
+	scale := flag.Int("scale", 10, "divide the paper's table sizes by this factor (1 = full size)")
+	flag.Parse()
+
+	// --- Through the public API: generate, estimate, execute. -------------
+	sys := els.New()
+	sizes := map[string]int{"S": 1000, "M": 10000, "B": 50000, "G": 100000}
+	cols := map[string]string{"S": "s", "M": "m", "B": "b", "G": "g"}
+	seed := int64(1)
+	for _, name := range []string{"S", "M", "B", "G"} {
+		rows := sizes[name] / *scale
+		if err := sys.GenerateTable(name, cols[name], "permutation", rows, rows, 0, seed); err != nil {
+			log.Fatal(err)
+		}
+		seed++
+	}
+	cut := 100 / *scale
+	sql := fmt.Sprintf(
+		"SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < %d", cut)
+
+	fmt.Printf("query: %s (correct count: %d)\n\n", sql, cut)
+	results, err := sys.CompareAlgorithms(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %-10s %-28s %8s %12s %10s\n",
+		"algo", "order", "estimated sizes", "count", "tuples", "elapsed")
+	for _, r := range results {
+		steps := make([]string, len(r.Estimate.Steps))
+		for i, s := range r.Estimate.Steps {
+			steps[i] = fmt.Sprintf("%.3g", s.Size)
+		}
+		fmt.Printf("%-8s %-10s %-28s %8d %12d %10s\n",
+			r.Estimate.Algorithm, strings.Join(r.Estimate.JoinOrder, "⋈"),
+			"("+strings.Join(steps, ", ")+")",
+			r.Count, r.TuplesScanned, r.Elapsed.Round(100_000))
+	}
+
+	// --- Through the experiment harness: the paper-style table. ----------
+	fmt.Println()
+	res, err := experiment.RunSection8(experiment.Section8Options{Scale: *scale, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiment.FormatSection8(res))
+
+	els8 := res.Rows[3]
+	worst := res.Rows[0]
+	for _, r := range res.Rows[:3] {
+		if r.Stats.Elapsed > worst.Stats.Elapsed {
+			worst = r
+		}
+	}
+	fmt.Printf("\nELS plan ran %.1fx faster than the slowest baseline (%s / %s).\n",
+		float64(worst.Stats.Elapsed)/float64(els8.Stats.Elapsed), worst.Query, worst.Algorithm)
+}

@@ -1,0 +1,142 @@
+package els
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func groupBySystem(t *testing.T) *System {
+	t.Helper()
+	sys := New()
+	var rows [][]int64
+	// 60 rows: g cycles 0..5, v = i.
+	for i := int64(0); i < 60; i++ {
+		rows = append(rows, []int64{i % 6, i})
+	}
+	if err := sys.LoadTable("T", []string{"g", "v"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestGroupByQuery(t *testing.T) {
+	sys := groupBySystem(t)
+	res, err := sys.Query("SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM T GROUP BY g", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 6 {
+		t.Fatalf("groups = %d, want 6", res.Count)
+	}
+	if len(res.Columns) != 6 || res.Columns[1] != "COUNT(*)" || res.Columns[2] != "SUM(T.v)" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	// Group 0 holds v ∈ {0, 6, ..., 54}: count 10, sum 270, min 0, max 54, avg 27.
+	row := res.Rows[0]
+	want := []string{"0", "10", "270", "0", "54", "27"}
+	for i, w := range want {
+		if row[i] != w {
+			t.Errorf("group 0 col %d = %q, want %q", i, row[i], w)
+		}
+	}
+	// Group estimate: d(g) = 6.
+	if res.Estimate.GroupEstimate != 6 {
+		t.Errorf("GroupEstimate = %g, want 6", res.Estimate.GroupEstimate)
+	}
+}
+
+func TestGroupByWithWhereAndJoin(t *testing.T) {
+	sys := groupBySystem(t)
+	var dims [][]int64
+	for i := int64(0); i < 6; i++ {
+		dims = append(dims, []int64{i, i * 100})
+	}
+	if err := sys.LoadTable("D", []string{"g", "label"}, dims); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query(
+		"SELECT D.label, COUNT(*) FROM T, D WHERE T.g = D.g AND T.v < 30 GROUP BY D.label",
+		AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 6 {
+		t.Fatalf("groups = %d, want 6", res.Count)
+	}
+	// v < 30 keeps 30 rows, 5 per group.
+	for _, row := range res.Rows {
+		if row[1] != "5" {
+			t.Errorf("group %v count = %q, want 5", row[0], row[1])
+		}
+	}
+}
+
+func TestGlobalAggregates(t *testing.T) {
+	sys := groupBySystem(t)
+	res, err := sys.Query("SELECT COUNT(*), SUM(v), AVG(v) FROM T", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Fatalf("global aggregate rows = %d", res.Count)
+	}
+	if res.Rows[0][0] != "60" || res.Rows[0][1] != "1770" {
+		t.Errorf("global row = %v", res.Rows[0])
+	}
+	avg, _ := math.Modf(1770.0 / 60)
+	_ = avg
+	if res.Rows[0][2] != "29.5" {
+		t.Errorf("AVG = %q, want 29.5", res.Rows[0][2])
+	}
+	// No GROUP BY → no group estimate.
+	if res.Estimate.GroupEstimate != 0 {
+		t.Errorf("GroupEstimate = %g, want 0", res.Estimate.GroupEstimate)
+	}
+}
+
+func TestCountColumnSkipsNulls(t *testing.T) {
+	// COUNT(v) vs COUNT(*): the public int64 loader has no NULLs, so use
+	// CSV with a NULL token.
+	sys := New()
+	csv := "g,v\n1,10\n1,NULL\n2,20\n"
+	if err := sys.LoadCSVReader("N", strings.NewReader(csv), true, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query("SELECT g, COUNT(*), COUNT(v) FROM N GROUP BY g", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][1] != "2" || res.Rows[0][2] != "1" {
+		t.Errorf("group 1 counts = %v, want COUNT(*)=2 COUNT(v)=1", res.Rows[0])
+	}
+}
+
+func TestGroupEstimateCappedByJoinSize(t *testing.T) {
+	sys := New()
+	sys.MustDeclareStats("R", 100, map[string]float64{"g": 1000, "v": 10})
+	// d(g) clamps to 100 in the catalog; with a selective predicate the
+	// join estimate caps the group estimate further.
+	est, err := sys.Estimate("SELECT g, COUNT(*) FROM R WHERE v = 3 GROUP BY g", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.GroupEstimate > est.FinalSize {
+		t.Errorf("group estimate %g must not exceed the size estimate %g", est.GroupEstimate, est.FinalSize)
+	}
+	if est.GroupEstimate <= 0 {
+		t.Errorf("group estimate = %g", est.GroupEstimate)
+	}
+}
+
+func TestAggregateOnlyCountStarStillFastPath(t *testing.T) {
+	sys := groupBySystem(t)
+	res, err := sys.Query("SELECT COUNT(*) FROM T", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast path: Count is the row count, no materialized columns.
+	if res.Count != 60 || len(res.Columns) != 0 {
+		t.Errorf("fast path broken: count=%d cols=%v", res.Count, res.Columns)
+	}
+}

@@ -1,0 +1,123 @@
+package els
+
+import (
+	"strings"
+	"testing"
+)
+
+// Building an index grows the optimizer repertoire with index
+// nested-loops, which slashes the work of join execution.
+func TestBuildIndexEnablesIndexJoin(t *testing.T) {
+	// A selective join: a small outer probing a large inner on a
+	// high-cardinality key, where per-probe index lookups beat sorting the
+	// whole inner.
+	mkSys := func() *System {
+		sys := New()
+		var a, b [][]int64
+		for i := int64(0); i < 50; i++ {
+			a = append(a, []int64{(i * 37) % 1000})
+		}
+		for i := int64(0); i < 2000; i++ {
+			b = append(b, []int64{i % 1000})
+		}
+		if err := sys.LoadTable("A", []string{"k"}, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.LoadTable("B", []string{"k"}, b); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	sql := "SELECT COUNT(*) FROM A, B WHERE A.k = B.k"
+
+	plain := mkSys()
+	resPlain, err := plain.Query(sql, AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed := mkSys()
+	if err := indexed.BuildIndex("B", "k"); err != nil {
+		t.Fatal(err)
+	}
+	resIdx, err := indexed.Query(sql, AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resIdx.Count != resPlain.Count {
+		t.Fatalf("counts differ: %d vs %d", resIdx.Count, resPlain.Count)
+	}
+	if !strings.Contains(strings.Join(resIdx.Estimate.JoinMethods, ","), "IDXNL") {
+		t.Errorf("indexed plan should use IDXNL: %v", resIdx.Estimate.JoinMethods)
+	}
+	if resIdx.TuplesScanned >= resPlain.TuplesScanned {
+		t.Errorf("indexed work %d should be below plain %d", resIdx.TuplesScanned, resPlain.TuplesScanned)
+	}
+	// BuildIndex on a stats-only table fails.
+	statsOnly := New()
+	statsOnly.MustDeclareStats("Q", 10, map[string]float64{"x": 5})
+	if err := statsOnly.BuildIndex("Q", "x"); err == nil {
+		t.Error("indexing a table without data should error")
+	}
+}
+
+func TestLoadCSVPublicAPI(t *testing.T) {
+	sys := New()
+	csv := "k,v\n1,10\n2,20\n2,30\n"
+	if err := sys.LoadCSVReader("T", strings.NewReader(csv), true, 4); err != nil {
+		t.Fatal(err)
+	}
+	card, err := sys.TableCard("T")
+	if err != nil || card != 3 {
+		t.Errorf("card = %g, err %v", card, err)
+	}
+	d, _ := sys.ColumnDistinct("T", "k")
+	if d != 2 {
+		t.Errorf("distinct k = %g", d)
+	}
+	res, err := sys.Query("SELECT COUNT(*) FROM T WHERE k = 2", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 2 {
+		t.Errorf("count = %d", res.Count)
+	}
+	// Missing file path errors cleanly.
+	if err := sys.LoadCSV("X", "/nonexistent/x.csv", true, 0); err == nil {
+		t.Error("missing file should error")
+	}
+	cols, err := sys.TableColumns("T")
+	if err != nil || len(cols) != 2 || cols[0] != "k" {
+		t.Errorf("TableColumns = %v, %v", cols, err)
+	}
+	if _, err := sys.TableColumns("nope"); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestFormatAnalyze(t *testing.T) {
+	sys := New()
+	var rows [][]int64
+	for i := int64(0); i < 20; i++ {
+		rows = append(rows, []int64{i % 4})
+	}
+	if err := sys.LoadTable("A", []string{"k"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadTable("B", []string{"k"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query("SELECT COUNT(*) FROM A, B WHERE A.k = B.k", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) == 0 {
+		t.Fatal("Nodes should be populated")
+	}
+	out := res.FormatAnalyze()
+	if !strings.Contains(out, "est=") || !strings.Contains(out, "actual=") {
+		t.Errorf("FormatAnalyze output:\n%s", out)
+	}
+	if res.Nodes[0].ActualRows != res.Count {
+		t.Errorf("root actual %d != count %d", res.Nodes[0].ActualRows, res.Count)
+	}
+}

@@ -1,0 +1,208 @@
+package cardest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/closure"
+	"repro/internal/expr"
+)
+
+// GroupChoice records, for one equivalence-class group at one incremental
+// step, the eligible predicates, their individual selectivities, and the
+// selectivity the configured rule chose. It powers EXPLAIN output and the
+// experiment tables.
+type GroupChoice struct {
+	// ClassID identifies the equivalence class (its smallest column key),
+	// or the predicate's own canonical key for ungrouped predicates.
+	ClassID string
+	// Predicates are the eligible join predicates of this group.
+	Predicates []expr.Predicate
+	// Selectivities are the per-predicate selectivities, aligned with
+	// Predicates.
+	Selectivities []float64
+	// Chosen is the group's combined selectivity under the rule.
+	Chosen float64
+}
+
+// StepResult describes one incremental join step.
+type StepResult struct {
+	// Table is the alias joined at this step.
+	Table string
+	// TableCard is the effective cardinality the table contributed.
+	TableCard float64
+	// Groups are the per-class selectivity choices.
+	Groups []GroupChoice
+	// Selectivity is the product of the group selectivities.
+	Selectivity float64
+	// Cartesian reports that no eligible join predicate linked the table
+	// (a cartesian product step).
+	Cartesian bool
+	// Size is the estimated result size after the step.
+	Size float64
+}
+
+// JoinStep estimates the result size of joining table next into an
+// intermediate result of estimated size currentSize covering the joined
+// aliases. This is ELS step 6 (or the corresponding step of the baseline
+// algorithms): find the eligible join predicates, group them by
+// equivalence class, choose one selectivity per group by the configured
+// rule, and multiply.
+func (e *Estimator) JoinStep(currentSize float64, joined []string, next string) (StepResult, error) {
+	eff, err := e.Effective(next)
+	if err != nil {
+		return StepResult{}, err
+	}
+	for _, j := range joined {
+		if strings.EqualFold(j, next) {
+			return StepResult{}, fmt.Errorf("cardest: table %q already joined", next)
+		}
+	}
+	eligible := closure.EligibleJoinPredicates(e.preds, next, joined)
+	res := StepResult{Table: next, TableCard: eff.Card}
+
+	if len(eligible) == 0 {
+		res.Cartesian = true
+		res.Selectivity = 1
+		res.Size = currentSize * eff.Card
+		return res, nil
+	}
+
+	groups, err := e.groupEligible(eligible)
+	if err != nil {
+		return StepResult{}, err
+	}
+	sel := 1.0
+	for i := range groups {
+		chosen, err := e.chooseSelectivity(&groups[i])
+		if err != nil {
+			return StepResult{}, err
+		}
+		groups[i].Chosen = chosen
+		sel *= chosen
+	}
+	res.Groups = groups
+	res.Selectivity = sel
+	res.Size = currentSize * eff.Card * sel
+	return res, nil
+}
+
+// groupEligible buckets eligible join predicates by equivalence class.
+// Only equality predicates participate in classes; non-equality join
+// predicates each form their own group (independence assumption).
+func (e *Estimator) groupEligible(eligible []expr.Predicate) ([]GroupChoice, error) {
+	byClass := make(map[string]*GroupChoice)
+	var order []string
+	for _, p := range eligible {
+		var id string
+		if p.Op == expr.OpEQ {
+			id = e.classes.ClassID(p.Left)
+		} else {
+			id = p.CanonicalKey()
+		}
+		g, ok := byClass[id]
+		if !ok {
+			g = &GroupChoice{ClassID: id}
+			byClass[id] = g
+			order = append(order, id)
+		}
+		s, err := e.JoinSelectivity(p)
+		if err != nil {
+			return nil, err
+		}
+		g.Predicates = append(g.Predicates, p)
+		g.Selectivities = append(g.Selectivities, s)
+	}
+	sort.Strings(order)
+	out := make([]GroupChoice, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byClass[id])
+	}
+	return out, nil
+}
+
+// chooseSelectivity applies the configured rule to one group.
+func (e *Estimator) chooseSelectivity(g *GroupChoice) (float64, error) {
+	if len(g.Selectivities) == 0 {
+		return 1, nil
+	}
+	switch e.cfg.Rule {
+	case RuleM:
+		prod := 1.0
+		for _, s := range g.Selectivities {
+			prod *= s
+		}
+		return prod, nil
+	case RuleSS:
+		min := math.Inf(1)
+		for _, s := range g.Selectivities {
+			if s < min {
+				min = s
+			}
+		}
+		return min, nil
+	case RuleLS:
+		max := math.Inf(-1)
+		for _, s := range g.Selectivities {
+			if s > max {
+				max = s
+			}
+		}
+		return max, nil
+	case RuleRepresentative:
+		if rep, ok := e.repSel[g.ClassID]; ok {
+			return rep, nil
+		}
+		// Classes without a representative (e.g. non-equality groups) fall
+		// back to the largest selectivity.
+		max := math.Inf(-1)
+		for _, s := range g.Selectivities {
+			if s > max {
+				max = s
+			}
+		}
+		return max, nil
+	default:
+		return 0, fmt.Errorf("cardest: invalid rule %d", int(e.cfg.Rule))
+	}
+}
+
+// EstimateOrder runs a full incremental estimation along the given join
+// order (ELS step 6 repeated), returning the per-step results. The first
+// table contributes its effective cardinality as the starting size.
+func (e *Estimator) EstimateOrder(order []string) ([]StepResult, error) {
+	if len(order) == 0 {
+		return nil, fmt.Errorf("cardest: empty join order")
+	}
+	size, err := e.BaseSize(order[0])
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]StepResult, 0, len(order)-1)
+	joined := []string{order[0]}
+	for _, next := range order[1:] {
+		step, err := e.JoinStep(size, joined, next)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, step)
+		size = step.Size
+		joined = append(joined, next)
+	}
+	return steps, nil
+}
+
+// FinalSize is a convenience wrapper returning just the final estimate of
+// EstimateOrder (the effective cardinality itself for a single table).
+func (e *Estimator) FinalSize(order []string) (float64, error) {
+	if len(order) == 1 {
+		return e.BaseSize(order[0])
+	}
+	steps, err := e.EstimateOrder(order)
+	if err != nil {
+		return 0, err
+	}
+	return steps[len(steps)-1].Size, nil
+}

@@ -1,0 +1,86 @@
+package catalog
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// AnalyzeOptions configures statistics collection.
+type AnalyzeOptions struct {
+	// HistogramBuckets is the bucket budget per numeric column; 0 disables
+	// histogram construction (pure uniformity assumption, as the paper's
+	// base configuration).
+	HistogramBuckets int
+	// HistogramKind selects equi-width or equi-depth construction.
+	HistogramKind HistogramKind
+}
+
+// Analyze scans a data table, derives exact statistics (and optional
+// histograms), registers them in the catalog, and remembers the backing
+// table so the executor can run plans against it.
+func (c *Catalog) Analyze(tbl *storage.Table, opts AnalyzeOptions) (*TableStats, error) {
+	if tbl == nil {
+		return nil, fmt.Errorf("catalog: Analyze(nil)")
+	}
+	schema := tbl.Schema()
+	ts := &TableStats{
+		Name:     tbl.Name(),
+		Card:     float64(tbl.NumRows()),
+		RowWidth: schema.RowWidth(),
+		Columns:  make(map[string]*ColumnStats, schema.NumColumns()),
+	}
+	for ci := 0; ci < schema.NumColumns(); ci++ {
+		def := schema.Column(ci)
+		cs := &ColumnStats{Name: def.Name, Type: def.Type}
+		distinct := make(map[string]struct{})
+		var numeric []float64
+		isNumeric := def.Type == storage.TypeInt64 || def.Type == storage.TypeFloat64
+		for r := 0; r < tbl.NumRows(); r++ {
+			v := tbl.Value(r, ci)
+			if v.IsNull() {
+				cs.NullCount++
+				continue
+			}
+			distinct[v.Key()] = struct{}{}
+			if isNumeric {
+				f := v.AsFloat()
+				if !cs.HasRange {
+					cs.HasRange = true
+					cs.Min, cs.Max = f, f
+				} else {
+					if f < cs.Min {
+						cs.Min = f
+					}
+					if f > cs.Max {
+						cs.Max = f
+					}
+				}
+				if opts.HistogramBuckets > 0 {
+					numeric = append(numeric, f)
+				}
+			}
+		}
+		cs.Distinct = float64(len(distinct))
+		if opts.HistogramBuckets > 0 && len(numeric) > 0 {
+			var h *Histogram
+			var err error
+			switch opts.HistogramKind {
+			case EquiDepth:
+				h, err = NewEquiDepthHistogram(numeric, opts.HistogramBuckets)
+			default:
+				h, err = NewEquiWidthHistogram(numeric, opts.HistogramBuckets)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("catalog: analyze %s.%s: %w", tbl.Name(), def.Name, err)
+			}
+			cs.Hist = h
+		}
+		ts.Columns[key(def.Name)] = cs
+	}
+	if err := c.AddTable(ts); err != nil {
+		return nil, err
+	}
+	c.SetData(tbl.Name(), tbl)
+	return ts, nil
+}

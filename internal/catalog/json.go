@@ -1,0 +1,135 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// jsonCatalog is the serialized form of a catalog's statistics (data tables
+// and indexes are not serialized; statistics are what optimizers exchange).
+type jsonCatalog struct {
+	Tables []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	Name     string       `json:"name"`
+	Card     float64      `json:"card"`
+	RowWidth int          `json:"row_width"`
+	Columns  []jsonColumn `json:"columns"`
+}
+
+type jsonColumn struct {
+	Name      string         `json:"name"`
+	Type      string         `json:"type"`
+	Distinct  float64        `json:"distinct"`
+	NullCount float64        `json:"null_count,omitempty"`
+	HasRange  bool           `json:"has_range,omitempty"`
+	Min       float64        `json:"min,omitempty"`
+	Max       float64        `json:"max,omitempty"`
+	Histogram *jsonHistogram `json:"histogram,omitempty"`
+}
+
+type jsonHistogram struct {
+	Kind    string       `json:"kind"`
+	Total   float64      `json:"total"`
+	Buckets []jsonBucket `json:"buckets"`
+}
+
+type jsonBucket struct {
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	Count    float64 `json:"count"`
+	Distinct float64 `json:"distinct"`
+}
+
+var typeNames = map[storage.Type]string{
+	storage.TypeInt64:   "int64",
+	storage.TypeFloat64: "float64",
+	storage.TypeString:  "string",
+	storage.TypeBool:    "bool",
+}
+
+var typeByName = map[string]storage.Type{
+	"int64": storage.TypeInt64, "float64": storage.TypeFloat64,
+	"string": storage.TypeString, "bool": storage.TypeBool,
+}
+
+// ExportJSON writes the catalog's statistics as JSON — the portable
+// artifact for sharing optimizer statistics between runs or tools.
+func (c *Catalog) ExportJSON(w io.Writer) error {
+	out := jsonCatalog{}
+	for _, name := range c.TableNames() {
+		ts := c.Table(name)
+		jt := jsonTable{Name: ts.Name, Card: ts.Card, RowWidth: ts.RowWidth}
+		// Deterministic column order.
+		var keys []string
+		for k := range ts.Columns {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			cs := ts.Columns[k]
+			jc := jsonColumn{
+				Name: cs.Name, Type: typeNames[cs.Type], Distinct: cs.Distinct,
+				NullCount: cs.NullCount, HasRange: cs.HasRange, Min: cs.Min, Max: cs.Max,
+			}
+			if cs.Hist != nil {
+				jh := &jsonHistogram{Kind: cs.Hist.Kind.String(), Total: cs.Hist.Total}
+				for _, b := range cs.Hist.Buckets {
+					jh.Buckets = append(jh.Buckets, jsonBucket(b))
+				}
+				jc.Histogram = jh
+			}
+			jt.Columns = append(jt.Columns, jc)
+		}
+		out.Tables = append(out.Tables, jt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ImportJSON loads statistics previously written by ExportJSON into the
+// catalog (replacing same-named tables).
+func (c *Catalog) ImportJSON(r io.Reader) error {
+	var in jsonCatalog
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	for _, jt := range in.Tables {
+		ts := &TableStats{
+			Name: jt.Name, Card: jt.Card, RowWidth: jt.RowWidth,
+			Columns: make(map[string]*ColumnStats, len(jt.Columns)),
+		}
+		for _, jc := range jt.Columns {
+			typ, ok := typeByName[jc.Type]
+			if !ok {
+				return fmt.Errorf("catalog: table %s column %s: unknown type %q", jt.Name, jc.Name, jc.Type)
+			}
+			cs := &ColumnStats{
+				Name: jc.Name, Type: typ, Distinct: jc.Distinct,
+				NullCount: jc.NullCount, HasRange: jc.HasRange, Min: jc.Min, Max: jc.Max,
+			}
+			if jc.Histogram != nil {
+				kind := EquiWidth
+				if jc.Histogram.Kind == EquiDepth.String() {
+					kind = EquiDepth
+				}
+				h := &Histogram{Kind: kind, Total: jc.Histogram.Total}
+				for _, b := range jc.Histogram.Buckets {
+					h.Buckets = append(h.Buckets, Bucket(b))
+				}
+				cs.Hist = h
+			}
+			ts.Columns[key(jc.Name)] = cs
+		}
+		if err := c.AddTable(ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

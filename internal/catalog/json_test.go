@@ -1,0 +1,76 @@
+package catalog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestExportImportJSONRoundTrip(t *testing.T) {
+	c := New()
+	ts := SimpleTable("R", 1000, map[string]float64{"x": 100, "y": 50})
+	ts.Columns["x"].NullCount = 7
+	h, err := NewEquiDepthHistogram([]float64{1, 2, 2, 3, 4, 5, 5, 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Columns["x"].Hist = h
+	c.MustAddTable(ts)
+	c.MustAddTable(SimpleTable("S", 20, map[string]float64{"k": 20}))
+
+	var buf bytes.Buffer
+	if err := c.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"name": "R"`, `"card": 1000`, `"histogram"`, `"equi-depth"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+
+	c2 := New()
+	if err := c2.ImportJSON(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+	r := c2.Table("R")
+	if r == nil || r.Card != 1000 || r.RowWidth != 16 {
+		t.Fatalf("imported R = %+v", r)
+	}
+	x := r.Column("x")
+	if x.Distinct != 100 || x.NullCount != 7 || x.Type != storage.TypeInt64 || !x.HasRange {
+		t.Errorf("imported x = %+v", x)
+	}
+	if x.Hist == nil || x.Hist.Kind != EquiDepth || x.Hist.Total != 8 || len(x.Hist.Buckets) != len(h.Buckets) {
+		t.Errorf("imported histogram = %+v", x.Hist)
+	}
+	// Histogram selectivities survive the round trip.
+	if got, want := x.Hist.SelectivityEQ(5), h.SelectivityEQ(5); got != want {
+		t.Errorf("histogram selectivity drifted: %g vs %g", got, want)
+	}
+	if c2.Table("S") == nil {
+		t.Error("second table missing")
+	}
+	// Import replaces same-named tables.
+	if err := c2.ImportJSON(strings.NewReader(`{"tables":[{"name":"S","card":99,"row_width":8,"columns":[]}]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Table("S").Card != 99 {
+		t.Error("import should replace S")
+	}
+}
+
+func TestImportJSONErrors(t *testing.T) {
+	c := New()
+	if err := c.ImportJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON should error")
+	}
+	if err := c.ImportJSON(strings.NewReader(`{"tables":[{"name":"T","card":1,"columns":[{"name":"x","type":"weird"}]}]}`)); err == nil {
+		t.Error("unknown type should error")
+	}
+	if err := c.ImportJSON(strings.NewReader(`{"tables":[{"name":"","card":1}]}`)); err == nil {
+		t.Error("empty table name should error")
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cardest"
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+func ref(t, c string) expr.ColumnRef { return expr.ColumnRef{Table: t, Column: c} }
+
+func section8Inputs() (*catalog.Catalog, []cardest.TableRef, []expr.Predicate) {
+	cat := catalog.New()
+	cat.MustAddTable(catalog.SimpleTable("S", 1000, map[string]float64{"s": 1000}))
+	cat.MustAddTable(catalog.SimpleTable("M", 10000, map[string]float64{"m": 10000}))
+	cat.MustAddTable(catalog.SimpleTable("B", 50000, map[string]float64{"b": 50000}))
+	cat.MustAddTable(catalog.SimpleTable("G", 100000, map[string]float64{"g": 100000}))
+	tabs := []cardest.TableRef{{Table: "S"}, {Table: "M"}, {Table: "B"}, {Table: "G"}}
+	preds := []expr.Predicate{
+		expr.NewJoin(ref("S", "s"), expr.OpEQ, ref("M", "m")),
+		expr.NewJoin(ref("M", "m"), expr.OpEQ, ref("B", "b")),
+		expr.NewJoin(ref("B", "b"), expr.OpEQ, ref("G", "g")),
+		expr.NewConst(ref("S", "s"), expr.OpLT, storage.Int64(100)),
+	}
+	return cat, tabs, preds
+}
+
+func TestRunSection8Trace(t *testing.T) {
+	cat, tabs, preds := section8Inputs()
+	tr, err := Run(cat, tabs, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Given) != 4 || len(tr.Deduplicated) != 4 {
+		t.Errorf("step 1: given %d, dedup %d", len(tr.Given), len(tr.Deduplicated))
+	}
+	// Step 2: three implied join equalities + three implied constants.
+	var joins, consts int
+	for _, ip := range tr.Implied {
+		switch ip.RuleShape {
+		case "a":
+			joins++
+		case "e":
+			consts++
+		}
+	}
+	if joins != 3 || consts != 3 {
+		t.Errorf("implied: %d joins, %d consts (want 3, 3): %+v", joins, consts, tr.Implied)
+	}
+	if len(tr.Classes) != 1 || len(tr.Classes[0]) != 4 {
+		t.Errorf("classes = %v", tr.Classes)
+	}
+	// Steps 3–4: every table folds to 100 rows / d′ = 100.
+	if len(tr.Folds) != 4 {
+		t.Fatalf("folds = %d", len(tr.Folds))
+	}
+	for _, f := range tr.Folds {
+		if f.After != 100 {
+			t.Errorf("fold %s: after = %g, want 100", f.Alias, f.After)
+		}
+		if len(f.Locals) != 1 {
+			t.Errorf("fold %s: locals = %v", f.Alias, f.Locals)
+		}
+	}
+	// Step 5: six join selectivities, all 0.01 on effective stats.
+	if len(tr.JoinSelectivities) != 6 {
+		t.Fatalf("join selectivities = %d, want 6", len(tr.JoinSelectivities))
+	}
+	for _, js := range tr.JoinSelectivities {
+		if js.Selectivity != 0.01 {
+			t.Errorf("S(%s) = %g, want 0.01", js.Predicate, js.Selectivity)
+		}
+	}
+	// Step 6 and Equation 3 agree at 100.
+	steps, err := tr.EstimateOrder([]string{"B", "G", "M", "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range steps {
+		if s.Size != 100 {
+			t.Errorf("step size = %g, want 100", s.Size)
+		}
+	}
+	eq3, err := tr.Equation3([]string{"S", "M", "B", "G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq3 != 100 {
+		t.Errorf("Equation 3 = %g, want 100", eq3)
+	}
+	if tr.Estimator() == nil {
+		t.Error("Estimator accessor nil")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cat, _, preds := section8Inputs()
+	if _, err := Run(cat, nil, preds); err == nil {
+		t.Error("no tables should error")
+	}
+	if _, err := Run(nil, []cardest.TableRef{{Table: "S"}}, nil); err == nil {
+		t.Error("nil catalog should error")
+	}
+}
+
+func TestTraceFormatAndDescribe(t *testing.T) {
+	cat, tabs, preds := section8Inputs()
+	out, err := Describe(cat, tabs, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"step 1: 4 given",
+		"step 2: transitive closure implied 6",
+		"[rule a]",
+		"[rule e]",
+		"equivalence classes",
+		"steps 3-4",
+		"card 100000 -> 100",
+		"step 5",
+		"= 0.01",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceRuleBShape(t *testing.T) {
+	cat := catalog.New()
+	cat.MustAddTable(catalog.SimpleTable("R1", 100, map[string]float64{"x": 100}))
+	cat.MustAddTable(catalog.SimpleTable("R2", 1000, map[string]float64{"y": 10, "w": 50}))
+	tr, err := Run(cat,
+		[]cardest.TableRef{{Table: "R1"}, {Table: "R2"}},
+		[]expr.Predicate{
+			expr.NewJoin(ref("R1", "x"), expr.OpEQ, ref("R2", "y")),
+			expr.NewJoin(ref("R1", "x"), expr.OpEQ, ref("R2", "w")),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foundB bool
+	for _, ip := range tr.Implied {
+		if ip.RuleShape == "b" {
+			foundB = true
+		}
+	}
+	if !foundB {
+		t.Errorf("expected a rule-b implied local predicate: %+v", tr.Implied)
+	}
+	// The Section 6 numbers surface in the fold.
+	var r2 *TableFold
+	for i := range tr.Folds {
+		if tr.Folds[i].Alias == "R2" {
+			r2 = &tr.Folds[i]
+		}
+	}
+	if r2 == nil || r2.After != 20 {
+		t.Fatalf("R2 fold = %+v, want after=20", r2)
+	}
+	if len(r2.JEquivGroups) != 1 {
+		t.Errorf("R2 j-equiv groups = %v", r2.JEquivGroups)
+	}
+	if got := r2.Columns["y"][1]; got != 9 {
+		t.Errorf("d′(y) = %g, want 9", got)
+	}
+	out := tr.Format()
+	if !strings.Contains(out, "single-table j-equivalent group") {
+		t.Errorf("format missing j-equiv group:\n%s", out)
+	}
+}
+
+func TestUrnDistinctReexport(t *testing.T) {
+	if UrnDistinct(10000, 50000) != 9933 {
+		t.Error("UrnDistinct re-export wrong")
+	}
+}

@@ -1,0 +1,159 @@
+// Package csvload imports CSV data into storage tables, with header
+// handling and per-column type inference (int64 → float64 → string). It is
+// the bridge between externally generated datasets (including cmd/elsgen
+// output) and the catalog's ANALYZE path.
+package csvload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Options configures CSV import.
+type Options struct {
+	// Header consumes the first record as column names. Without it columns
+	// are named c0, c1, ....
+	Header bool
+	// Comma is the field separator; 0 means ','.
+	Comma rune
+	// NullToken, when non-empty, marks NULL values (case-insensitive).
+	NullToken string
+}
+
+// Load reads CSV from r into a new table with the given name. All records
+// must have the same arity. Column types are inferred from the data: a
+// column where every non-null value parses as an integer is TypeInt64, else
+// if every value parses as a float it is TypeFloat64, else TypeString.
+func Load(name string, r io.Reader, opts Options) (*storage.Table, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.TrimLeadingSpace = true
+
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvload: %w", err)
+	}
+	var names []string
+	if opts.Header {
+		if len(records) == 0 {
+			return nil, fmt.Errorf("csvload: empty input, expected a header")
+		}
+		names = records[0]
+		records = records[1:]
+	}
+	if len(records) == 0 && len(names) == 0 {
+		return nil, fmt.Errorf("csvload: empty input")
+	}
+	width := len(names)
+	if width == 0 {
+		width = len(records[0])
+		names = make([]string, width)
+		for i := range names {
+			names[i] = fmt.Sprintf("c%d", i)
+		}
+	}
+	for i, rec := range records {
+		if len(rec) != width {
+			return nil, fmt.Errorf("csvload: record %d has %d fields, want %d", i+1, len(rec), width)
+		}
+	}
+
+	isNull := func(s string) bool {
+		return opts.NullToken != "" && strings.EqualFold(strings.TrimSpace(s), opts.NullToken)
+	}
+
+	// Infer types per column.
+	types := make([]storage.Type, width)
+	for c := 0; c < width; c++ {
+		types[c] = inferColumnType(records, c, isNull)
+	}
+	defs := make([]storage.ColumnDef, width)
+	for i := range defs {
+		defs[i] = storage.ColumnDef{Name: names[i], Type: types[i]}
+	}
+	schema, err := storage.NewSchema(defs...)
+	if err != nil {
+		return nil, fmt.Errorf("csvload: %w", err)
+	}
+	tbl := storage.NewTable(name, schema)
+	row := make([]storage.Value, width)
+	for ri, rec := range records {
+		for c, field := range rec {
+			v, err := parseValue(field, types[c], isNull)
+			if err != nil {
+				return nil, fmt.Errorf("csvload: record %d column %s: %w", ri+1, names[c], err)
+			}
+			row[c] = v
+		}
+		if err := tbl.AppendRow(row...); err != nil {
+			return nil, fmt.Errorf("csvload: record %d: %w", ri+1, err)
+		}
+	}
+	return tbl, nil
+}
+
+func inferColumnType(records [][]string, col int, isNull func(string) bool) storage.Type {
+	sawValue := false
+	allInt, allFloat := true, true
+	for _, rec := range records {
+		s := strings.TrimSpace(rec[col])
+		if s == "" || isNull(s) {
+			continue
+		}
+		sawValue = true
+		if allInt {
+			if _, err := strconv.ParseInt(s, 10, 64); err != nil {
+				allInt = false
+			}
+		}
+		if !allInt && allFloat {
+			if _, err := strconv.ParseFloat(s, 64); err != nil {
+				allFloat = false
+			}
+		}
+		if !allInt && !allFloat {
+			return storage.TypeString
+		}
+	}
+	switch {
+	case !sawValue:
+		// All-null or empty column: default to string.
+		return storage.TypeString
+	case allInt:
+		return storage.TypeInt64
+	case allFloat:
+		return storage.TypeFloat64
+	default:
+		return storage.TypeString
+	}
+}
+
+func parseValue(field string, t storage.Type, isNull func(string) bool) (storage.Value, error) {
+	s := strings.TrimSpace(field)
+	if isNull(s) || (s == "" && t != storage.TypeString) {
+		return storage.Null(t), nil
+	}
+	switch t {
+	case storage.TypeInt64:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return storage.Value{}, fmt.Errorf("cannot parse %q as integer", s)
+		}
+		return storage.Int64(n), nil
+	case storage.TypeFloat64:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return storage.Value{}, fmt.Errorf("cannot parse %q as float", s)
+		}
+		return storage.Float64(f), nil
+	default:
+		return storage.String64(field), nil
+	}
+}

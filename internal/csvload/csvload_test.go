@@ -1,0 +1,136 @@
+package csvload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestLoadWithHeader(t *testing.T) {
+	in := "id,name,score\n1,ann,3.5\n2,bob,1\n"
+	tbl, err := Load("t", strings.NewReader(in), Options{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	s := tbl.Schema()
+	if s.Column(0).Type != storage.TypeInt64 {
+		t.Errorf("id type = %s", s.Column(0).Type)
+	}
+	if s.Column(1).Type != storage.TypeString {
+		t.Errorf("name type = %s", s.Column(1).Type)
+	}
+	if s.Column(2).Type != storage.TypeFloat64 {
+		t.Errorf("score type = %s (mixed int+float must widen)", s.Column(2).Type)
+	}
+	if tbl.Value(0, 0).Int() != 1 || tbl.Value(1, 1).Str() != "bob" || tbl.Value(1, 2).Float() != 1 {
+		t.Error("values wrong")
+	}
+}
+
+func TestLoadWithoutHeader(t *testing.T) {
+	tbl, err := Load("t", strings.NewReader("10,xyz\n20,pqr\n"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Schema().Column(0).Name != "c0" || tbl.Schema().Column(1).Name != "c1" {
+		t.Errorf("auto names wrong: %s", tbl.Schema())
+	}
+}
+
+func TestLoadNullToken(t *testing.T) {
+	in := "k,v\n1,10\n2,NULL\n3,30\n"
+	tbl, err := Load("t", strings.NewReader(in), Options{Header: true, NullToken: "null"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Value(1, 1).IsNull() {
+		t.Error("NULL token not honored")
+	}
+	if tbl.Schema().Column(1).Type != storage.TypeInt64 {
+		t.Errorf("type inference should skip nulls: %s", tbl.Schema().Column(1).Type)
+	}
+}
+
+func TestLoadEmptyFieldsAreNullForNumeric(t *testing.T) {
+	in := "k,v\n1,\n2,5\n"
+	tbl, err := Load("t", strings.NewReader(in), Options{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Value(0, 1).IsNull() {
+		t.Error("empty numeric field should load as NULL")
+	}
+}
+
+func TestLoadCustomComma(t *testing.T) {
+	tbl, err := Load("t", strings.NewReader("1;2\n3;4\n"), Options{Comma: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 || tbl.Value(1, 1).Int() != 4 {
+		t.Error("semicolon CSV wrong")
+	}
+}
+
+func TestLoadNegativeAndScientific(t *testing.T) {
+	in := "a,b\n-5,1e3\n7,-2.5\n"
+	tbl, err := Load("t", strings.NewReader(in), Options{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Schema().Column(0).Type != storage.TypeInt64 {
+		t.Error("negative integers should stay int")
+	}
+	if tbl.Schema().Column(1).Type != storage.TypeFloat64 {
+		t.Error("scientific notation should be float")
+	}
+	if tbl.Value(0, 1).Float() != 1000 {
+		t.Error("1e3 parse wrong")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("t", strings.NewReader(""), Options{}); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Load("t", strings.NewReader(""), Options{Header: true}); err == nil {
+		t.Error("empty input with header should error")
+	}
+	// encoding/csv catches ragged rows itself.
+	if _, err := Load("t", strings.NewReader("a,b\n1\n"), Options{Header: true}); err == nil {
+		t.Error("ragged record should error")
+	}
+	// Duplicate header names break schema construction.
+	if _, err := Load("t", strings.NewReader("a,a\n1,2\n"), Options{Header: true}); err == nil {
+		t.Error("duplicate column names should error")
+	}
+}
+
+func TestLoadHeaderOnly(t *testing.T) {
+	tbl, err := Load("t", strings.NewReader("a,b\n"), Options{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 0 || tbl.Schema().NumColumns() != 2 {
+		t.Errorf("header-only table wrong: %s", tbl)
+	}
+	// All-null/empty columns default to string.
+	if tbl.Schema().Column(0).Type != storage.TypeString {
+		t.Errorf("empty column type = %s, want VARCHAR", tbl.Schema().Column(0).Type)
+	}
+}
+
+func TestLoadQuotedStrings(t *testing.T) {
+	in := "k,s\n1,\"hello, world\"\n2,\"line\"\n"
+	tbl, err := Load("t", strings.NewReader(in), Options{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Value(0, 1).Str() != "hello, world" {
+		t.Errorf("quoted value = %q", tbl.Value(0, 1).Str())
+	}
+}

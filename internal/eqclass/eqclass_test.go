@@ -1,0 +1,188 @@
+package eqclass
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+func ref(t, c string) expr.ColumnRef { return expr.ColumnRef{Table: t, Column: c} }
+
+func TestSingletons(t *testing.T) {
+	c := New()
+	x := ref("R1", "x")
+	c.Add(x)
+	c.Add(x) // idempotent
+	if !c.Contains(x) {
+		t.Error("Add should register")
+	}
+	if !c.Same(x, x) {
+		t.Error("column equivalent to itself")
+	}
+	if c.Same(x, ref("R2", "y")) {
+		t.Error("distinct singletons must not be equivalent")
+	}
+	if c.NumClasses() != 1 {
+		t.Errorf("NumClasses = %d", c.NumClasses())
+	}
+}
+
+func TestUnionChain(t *testing.T) {
+	// The paper's Example 1a: x=y, y=z puts x, y, z in one class.
+	c := New()
+	x, y, z := ref("R1", "x"), ref("R2", "y"), ref("R3", "z")
+	c.Union(x, y)
+	c.Union(y, z)
+	if !c.Same(x, z) {
+		t.Error("transitivity failed")
+	}
+	if c.NumClasses() != 1 {
+		t.Errorf("NumClasses = %d, want 1", c.NumClasses())
+	}
+	members := c.Members(x)
+	if len(members) != 3 {
+		t.Fatalf("Members = %v", members)
+	}
+	if members[0].Key() != "r1.x" || members[1].Key() != "r2.y" || members[2].Key() != "r3.z" {
+		t.Errorf("Members not sorted: %v", members)
+	}
+}
+
+func TestSeparateClasses(t *testing.T) {
+	c := New()
+	c.Union(ref("A", "a"), ref("B", "b"))
+	c.Union(ref("C", "c"), ref("D", "d"))
+	if c.Same(ref("A", "a"), ref("C", "c")) {
+		t.Error("independent classes merged")
+	}
+	if c.NumClasses() != 2 {
+		t.Errorf("NumClasses = %d, want 2", c.NumClasses())
+	}
+	all := c.All()
+	if len(all) != 2 || len(all[0]) != 2 || len(all[1]) != 2 {
+		t.Errorf("All = %v", all)
+	}
+	if all[0][0].Key() != "a.a" {
+		t.Errorf("All should be ordered by smallest member, got %v", all)
+	}
+}
+
+func TestAllOmitsSingletons(t *testing.T) {
+	c := New()
+	c.Add(ref("L", "only"))
+	c.Union(ref("A", "a"), ref("B", "b"))
+	all := c.All()
+	if len(all) != 1 {
+		t.Errorf("All should omit singletons: %v", all)
+	}
+}
+
+func TestClassID(t *testing.T) {
+	c := New()
+	c.Union(ref("R2", "y"), ref("R1", "x"))
+	c.Union(ref("R3", "z"), ref("R2", "y"))
+	id := c.ClassID(ref("R3", "z"))
+	if id != "r1.x" {
+		t.Errorf("ClassID = %q, want smallest member key r1.x", id)
+	}
+	if c.ClassID(ref("Q", "unseen")) != "q.unseen" {
+		t.Error("unseen ref should be its own ID")
+	}
+	if c.ClassID(ref("R1", "x")) != c.ClassID(ref("R2", "y")) {
+		t.Error("all members must share a ClassID")
+	}
+}
+
+func TestMembersUnregistered(t *testing.T) {
+	c := New()
+	m := c.Members(ref("X", "x"))
+	if len(m) != 1 || m[0].Key() != "x.x" {
+		t.Errorf("Members of unregistered = %v", m)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	c := New()
+	c.Union(ref("R1", "X"), ref("r2", "Y"))
+	if !c.Same(ref("r1", "x"), ref("R2", "y")) {
+		t.Error("classes must be case-insensitive")
+	}
+}
+
+func TestFromPredicates(t *testing.T) {
+	preds := []expr.Predicate{
+		expr.NewJoin(ref("R1", "x"), expr.OpEQ, ref("R2", "y")),
+		expr.NewJoin(ref("R2", "y"), expr.OpEQ, ref("R3", "z")),
+		expr.NewJoin(ref("R4", "p"), expr.OpLT, ref("R5", "q")),    // non-equality: no merge
+		expr.NewConst(ref("R6", "w"), expr.OpEQ, storage.Int64(5)), // const: register only
+		expr.NewJoin(ref("R7", "u"), expr.OpEQ, ref("R7", "v")),    // local col=col merges
+	}
+	c := FromPredicates(preds)
+	if !c.Same(ref("R1", "x"), ref("R3", "z")) {
+		t.Error("x and z should be j-equivalent")
+	}
+	if c.Same(ref("R4", "p"), ref("R5", "q")) {
+		t.Error("non-equality must not merge")
+	}
+	if !c.Contains(ref("R4", "p")) || !c.Contains(ref("R5", "q")) || !c.Contains(ref("R6", "w")) {
+		t.Error("all participating columns must be registered")
+	}
+	if !c.Same(ref("R7", "u"), ref("R7", "v")) {
+		t.Error("local equality must merge")
+	}
+}
+
+// Property: after random unions, Same is an equivalence relation
+// (reflexive, symmetric, transitive) and matches a naive reference
+// implementation.
+func TestUnionFindMatchesNaiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cols := make([]expr.ColumnRef, 12)
+	for i := range cols {
+		cols[i] = ref("T", string(rune('a'+i)))
+	}
+	for trial := 0; trial < 50; trial++ {
+		c := New()
+		// naive: map key -> group id
+		naive := make(map[string]int)
+		for i, col := range cols {
+			naive[col.Key()] = i
+			c.Add(col)
+		}
+		merge := func(a, b expr.ColumnRef) {
+			ga, gb := naive[a.Key()], naive[b.Key()]
+			if ga == gb {
+				return
+			}
+			for k, g := range naive {
+				if g == gb {
+					naive[k] = ga
+				}
+			}
+		}
+		nUnions := rng.Intn(15)
+		for u := 0; u < nUnions; u++ {
+			a, b := cols[rng.Intn(len(cols))], cols[rng.Intn(len(cols))]
+			c.Union(a, b)
+			merge(a, b)
+		}
+		for _, a := range cols {
+			for _, b := range cols {
+				want := naive[a.Key()] == naive[b.Key()]
+				if got := c.Same(a, b); got != want {
+					t.Fatalf("trial %d: Same(%s,%s) = %v, naive %v", trial, a, b, got, want)
+				}
+			}
+		}
+		// NumClasses matches naive group count.
+		groups := make(map[int]struct{})
+		for _, g := range naive {
+			groups[g] = struct{}{}
+		}
+		if c.NumClasses() != len(groups) {
+			t.Fatalf("trial %d: NumClasses = %d, naive %d", trial, c.NumClasses(), len(groups))
+		}
+	}
+}

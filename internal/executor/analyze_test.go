@@ -1,0 +1,103 @@
+package executor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cardest"
+	"repro/internal/datagen"
+	"repro/internal/expr"
+	"repro/internal/optimizer"
+)
+
+// Per-node estimate-vs-actual recording (the EXPLAIN ANALYZE data).
+func TestExecuteRecordsNodeActuals(t *testing.T) {
+	cat := buildCatalog(t, chainSpecs(30, 40, 50)...)
+	preds := []expr.Predicate{
+		expr.NewJoin(ref("T0", "k"), expr.OpEQ, ref("T1", "k")),
+		expr.NewJoin(ref("T1", "k"), expr.OpEQ, ref("T2", "k")),
+	}
+	tabs := []cardest.TableRef{{Table: "T0"}, {Table: "T1"}, {Table: "T2"}}
+	est, err := cardest.New(cat, tabs, preds, cardest.ELS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := optimizer.New(est, optimizer.Options{Methods: []optimizer.JoinMethod{optimizer.SortMerge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := o.BestPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(cat).Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sort-merge plan: 2 joins + 3 scans = 5 nodes, all materialized.
+	if len(res.Nodes) != 5 {
+		t.Fatalf("nodes = %d, want 5: %+v", len(res.Nodes), res.Nodes)
+	}
+	if res.Nodes[0].Depth != 0 || res.Nodes[0].ActualRows != res.Stats.RowsProduced {
+		t.Errorf("root node wrong: %+v", res.Nodes[0])
+	}
+	for _, n := range res.Nodes {
+		if n.ActualRows < 0 {
+			t.Errorf("sort-merge node not materialized: %+v", n)
+		}
+		if n.EstRows < 0 {
+			t.Errorf("negative estimate: %+v", n)
+		}
+	}
+}
+
+func TestExecuteNLInnerNotMaterialized(t *testing.T) {
+	cat := buildCatalog(t, chainSpecs(10, 20)...)
+	preds := []expr.Predicate{expr.NewJoin(ref("T0", "k"), expr.OpEQ, ref("T1", "k"))}
+	tabs := []cardest.TableRef{{Table: "T0"}, {Table: "T1"}}
+	est, _ := cardest.New(cat, tabs, preds, cardest.ELS())
+	o, _ := optimizer.New(est, optimizer.Options{Methods: []optimizer.JoinMethod{optimizer.NestedLoop}})
+	plan, err := o.PlanForOrder([]string{"T0", "T1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(cat).Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("nodes = %+v", res.Nodes)
+	}
+	var sawUnmaterialized bool
+	for _, n := range res.Nodes {
+		if n.ActualRows == -1 && strings.Contains(n.Node, "Scan(T1") {
+			sawUnmaterialized = true
+		}
+	}
+	if !sawUnmaterialized {
+		t.Errorf("NL inner scan should report ActualRows = -1: %+v", res.Nodes)
+	}
+}
+
+func TestExecuteNodeActualsMatchPerfectEstimates(t *testing.T) {
+	// Permutation join columns make ELS estimates exact; every materialized
+	// node's actual must equal its estimate.
+	cat := buildCatalog(t,
+		datagen.TableSpec{Name: "A", Rows: 50, Columns: []datagen.ColumnSpec{{Name: "k", Dist: datagen.DistPermutation}}},
+		datagen.TableSpec{Name: "B", Rows: 100, Columns: []datagen.ColumnSpec{{Name: "k", Dist: datagen.DistPermutation}}},
+	)
+	preds := []expr.Predicate{expr.NewJoin(ref("A", "k"), expr.OpEQ, ref("B", "k"))}
+	tabs := []cardest.TableRef{{Table: "A"}, {Table: "B"}}
+	est, _ := cardest.New(cat, tabs, preds, cardest.ELS())
+	o, _ := optimizer.New(est, optimizer.Options{Methods: []optimizer.JoinMethod{optimizer.SortMerge}})
+	plan, _ := o.BestPlan()
+	res, err := New(cat).Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Nodes {
+		if n.ActualRows >= 0 && float64(n.ActualRows) != n.EstRows {
+			t.Errorf("node %s: actual %d != estimate %g", n.Node, n.ActualRows, n.EstRows)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package executor
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// compiledPred is one predicate with its column references resolved to
+// ordinals of a row schema, avoiding per-row name lookups.
+type compiledPred struct {
+	leftIdx  int
+	op       expr.CompareOp
+	rightIdx int // -1 when the right side is a constant
+	constant storage.Value
+	src      expr.Predicate
+}
+
+// compiled is a conjunction of resolved predicates.
+type compiled struct {
+	preds []compiledPred
+}
+
+// compileAll resolves each predicate's columns against the schema, whose
+// column names are the qualified "alias.column" strings produced by scans.
+func compileAll(preds []expr.Predicate, schema *storage.Schema) (compiled, error) {
+	out := compiled{preds: make([]compiledPred, 0, len(preds))}
+	for _, p := range preds {
+		cp := compiledPred{op: p.Op, rightIdx: -1, constant: p.Const, src: p}
+		li := schema.ColumnIndex(p.Left.Table + "." + p.Left.Column)
+		if li < 0 {
+			return compiled{}, fmt.Errorf("executor: cannot resolve %s in schema %s", p.Left, schema)
+		}
+		cp.leftIdx = li
+		if p.RightIsColumn {
+			ri := schema.ColumnIndex(p.Right.Table + "." + p.Right.Column)
+			if ri < 0 {
+				return compiled{}, fmt.Errorf("executor: cannot resolve %s in schema %s", p.Right, schema)
+			}
+			cp.rightIdx = ri
+		}
+		out.preds = append(out.preds, cp)
+	}
+	return out, nil
+}
+
+// eval applies the conjunction to one row, counting comparisons. NULL
+// operands make a comparison false, per SQL semantics.
+func (c compiled) eval(row []storage.Value, stats *Stats) (bool, error) {
+	for _, p := range c.preds {
+		if !p.evalOne(row, stats) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// evalOne applies a single resolved predicate to one row.
+func (p compiledPred) evalOne(row []storage.Value, stats *Stats) bool {
+	stats.Comparisons++
+	l := row[p.leftIdx]
+	r := p.constant
+	if p.rightIdx >= 0 {
+		r = row[p.rightIdx]
+	}
+	if l.IsNull() || r.IsNull() {
+		return false
+	}
+	return p.op.Holds(storage.Compare(l, r))
+}
+
+// compiledDisj is a resolved OR-group.
+type compiledDisj struct {
+	preds []compiledPred
+}
+
+// compileDisjunctions resolves each OR-group against the schema.
+func compileDisjunctions(disjs []expr.Disjunction, schema *storage.Schema) ([]compiledDisj, error) {
+	out := make([]compiledDisj, 0, len(disjs))
+	for _, d := range disjs {
+		c, err := compileAll(d.Preds, schema)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, compiledDisj{preds: c.preds})
+	}
+	return out, nil
+}
+
+// evalDisjunctions applies every OR-group: each group must have at least
+// one true disjunct.
+func evalDisjunctions(ds []compiledDisj, row []storage.Value, stats *Stats) bool {
+	for _, d := range ds {
+		any := false
+		for _, p := range d.preds {
+			if p.evalOne(row, stats) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,583 @@
+// Package executor runs query evaluation plans against the in-memory
+// tables registered in a catalog. Execution is materialized
+// operator-at-a-time except for the inner input of a nested-loops join,
+// which — as in the classic System R / Starburst formulation the cost model
+// assumes — is re-scanned from its base table for every outer row. That
+// faithfulness is what lets the Section 8 experiment reproduce: a plan
+// chosen under a drastic underestimate pays the re-scans its optimizer
+// believed were free.
+//
+// The executor counts the base-table tuples it visits and the predicate
+// evaluations it performs, so experiments can report deterministic work
+// measures alongside wall-clock times.
+package executor
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/optimizer"
+	"repro/internal/storage"
+)
+
+// Stats accumulates execution work counters.
+type Stats struct {
+	// TuplesScanned counts base-table and materialized-input tuples visited.
+	TuplesScanned int64
+	// Comparisons counts predicate evaluations and merge/sort key
+	// comparisons.
+	Comparisons int64
+	// RowsProduced is the root operator's output cardinality.
+	RowsProduced int64
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// Add merges other into s.
+func (s *Stats) Add(other Stats) {
+	s.TuplesScanned += other.TuplesScanned
+	s.Comparisons += other.Comparisons
+	s.RowsProduced += other.RowsProduced
+	s.Elapsed += other.Elapsed
+}
+
+// NodeActual compares one plan node's estimated output cardinality with
+// what execution actually produced — the data behind EXPLAIN ANALYZE
+// output and the estimate-accuracy experiments.
+type NodeActual struct {
+	// Node is the node's one-line description.
+	Node string
+	// Depth is the node's depth in the plan tree (root = 0).
+	Depth int
+	// EstRows is the optimizer's estimate.
+	EstRows float64
+	// ActualRows is the materialized output size. Nodes that are never
+	// materialized (the re-scanned inner of a nested-loops join) report -1.
+	ActualRows int64
+}
+
+// Result is the outcome of executing a plan.
+type Result struct {
+	// Table holds the materialized output rows.
+	Table *storage.Table
+	// Stats are the work counters of the whole execution.
+	Stats Stats
+	// Nodes holds per-node estimated-vs-actual cardinalities in depth-first
+	// (root-first) order.
+	Nodes []NodeActual
+}
+
+// Executor runs plans against the data tables of one catalog.
+type Executor struct {
+	cat *catalog.Catalog
+}
+
+// New creates an executor over the catalog's registered data tables.
+func New(cat *catalog.Catalog) *Executor {
+	return &Executor{cat: cat}
+}
+
+// Execute runs the plan and returns the materialized result, including
+// per-node estimated-vs-actual cardinalities.
+func (e *Executor) Execute(plan optimizer.Plan) (*Result, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("executor: nil plan")
+	}
+	start := time.Now()
+	var stats Stats
+	rec := &recorder{}
+	tbl, err := e.run(plan, &stats, rec, 0)
+	if err != nil {
+		return nil, err
+	}
+	stats.RowsProduced = int64(tbl.NumRows())
+	stats.Elapsed = time.Since(start)
+	return &Result{Table: tbl, Stats: stats, Nodes: rec.nodes}, nil
+}
+
+// recorder accumulates NodeActual entries in pre-order.
+type recorder struct {
+	nodes []NodeActual
+}
+
+// reserve appends a pending entry for the node and returns its index.
+func (r *recorder) reserve(p optimizer.Plan, depth int) int {
+	r.nodes = append(r.nodes, NodeActual{
+		Node: p.String(), Depth: depth, EstRows: p.EstRows(), ActualRows: -1,
+	})
+	return len(r.nodes) - 1
+}
+
+// fill sets the actual output size of a reserved entry.
+func (r *recorder) fill(idx int, actual int64) {
+	r.nodes[idx].ActualRows = actual
+}
+
+// Count runs the plan and returns only the output row count (COUNT(*)).
+func (e *Executor) Count(plan optimizer.Plan) (int64, Stats, error) {
+	res, err := e.Execute(plan)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	return res.Stats.RowsProduced, res.Stats, nil
+}
+
+func (e *Executor) run(plan optimizer.Plan, stats *Stats, rec *recorder, depth int) (*storage.Table, error) {
+	idx := rec.reserve(plan, depth)
+	var tbl *storage.Table
+	var err error
+	switch n := plan.(type) {
+	case *optimizer.Scan:
+		tbl, err = e.runScan(n, stats)
+	case *optimizer.Join:
+		tbl, err = e.runJoin(n, stats, rec, depth)
+	default:
+		return nil, fmt.Errorf("executor: unknown plan node %T", plan)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rec.fill(idx, int64(tbl.NumRows()))
+	return tbl, nil
+}
+
+// qualifiedSchema builds the output schema of a scan: every column renamed
+// to "alias.column" so join results never collide and predicates resolve by
+// their qualified names.
+func qualifiedSchema(alias string, in *storage.Schema) (*storage.Schema, error) {
+	cols := make([]storage.ColumnDef, in.NumColumns())
+	for i := 0; i < in.NumColumns(); i++ {
+		c := in.Column(i)
+		cols[i] = storage.ColumnDef{Name: alias + "." + c.Name, Type: c.Type}
+	}
+	return storage.NewSchema(cols...)
+}
+
+func (e *Executor) runScan(s *optimizer.Scan, stats *Stats) (*storage.Table, error) {
+	base := e.cat.Data(s.Table)
+	if base == nil {
+		return nil, fmt.Errorf("executor: no data registered for table %q", s.Table)
+	}
+	schema, err := qualifiedSchema(s.Alias, base.Schema())
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewTable(s.Alias, schema)
+	filter, err := compileAll(s.Filter, schema)
+	if err != nil {
+		return nil, err
+	}
+	orFilter, err := compileDisjunctions(s.FilterOr, schema)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]storage.Value, 0, schema.NumColumns())
+	for r := 0; r < base.NumRows(); r++ {
+		stats.TuplesScanned++
+		buf = base.AppendRowTo(buf[:0], r)
+		ok, err := filter.eval(buf, stats)
+		if err != nil {
+			return nil, err
+		}
+		if !ok || !evalDisjunctions(orFilter, buf, stats) {
+			continue
+		}
+		if err := out.AppendRow(buf...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) runJoin(j *optimizer.Join, stats *Stats, rec *recorder, depth int) (*storage.Table, error) {
+	left, err := e.run(j.Left, stats, rec, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Method {
+	case optimizer.NestedLoop:
+		return e.nestedLoop(j, left, stats, rec, depth)
+	case optimizer.SortMerge:
+		right, err := e.run(j.Right, stats, rec, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return e.sortMerge(j, left, right, stats)
+	case optimizer.HashJoin:
+		right, err := e.run(j.Right, stats, rec, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return e.hashJoin(j, left, right, stats)
+	case optimizer.IndexNL:
+		return e.indexNL(j, left, stats, rec, depth)
+	default:
+		return nil, fmt.Errorf("executor: unknown join method %v", j.Method)
+	}
+}
+
+// indexNL probes an ordered index on the inner base table's join column
+// once per outer row. The inner is never materialized; the scan filter and
+// residual join predicates qualify each fetched row.
+func (e *Executor) indexNL(j *optimizer.Join, left *storage.Table, stats *Stats, rec *recorder, depth int) (*storage.Table, error) {
+	scan, ok := j.Right.(*optimizer.Scan)
+	if !ok {
+		return nil, fmt.Errorf("executor: index nested-loops requires a base-table inner")
+	}
+	if j.IndexColumn == "" {
+		return nil, fmt.Errorf("executor: index nested-loops plan lacks an index column")
+	}
+	ix := e.cat.Index(scan.Table, j.IndexColumn)
+	if ix == nil {
+		return nil, fmt.Errorf("executor: no index on %s.%s", scan.Table, j.IndexColumn)
+	}
+	base := ix.Table()
+	innerSchema, err := qualifiedSchema(scan.Alias, base.Schema())
+	if err != nil {
+		return nil, err
+	}
+	rec.reserve(scan, depth+1) // never materialized
+	innerFilter, err := compileAll(scan.Filter, innerSchema)
+	if err != nil {
+		return nil, err
+	}
+	innerOrFilter, err := compileDisjunctions(scan.FilterOr, innerSchema)
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := joinSchema(left.Schema(), innerSchema)
+	if err != nil {
+		return nil, err
+	}
+	// The probe key: the predicate over IndexColumn; the rest are residual.
+	var keyPred *expr.Predicate
+	var residuals []expr.Predicate
+	for i, p := range j.Preds {
+		if keyPred == nil && p.Op == expr.OpEQ && p.RightIsColumn &&
+			((columnMatches(p.Left, scan.Alias, j.IndexColumn)) ||
+				(columnMatches(p.Right, scan.Alias, j.IndexColumn))) {
+			keyPred = &j.Preds[i]
+			continue
+		}
+		residuals = append(residuals, p)
+	}
+	if keyPred == nil {
+		return nil, fmt.Errorf("executor: no equality predicate over index column %s.%s", scan.Alias, j.IndexColumn)
+	}
+	// Outer side of the key predicate.
+	outerRef := keyPred.Left
+	if columnMatches(keyPred.Left, scan.Alias, j.IndexColumn) {
+		outerRef = keyPred.Right
+	}
+	outerKey := left.Schema().ColumnIndex(outerRef.Table + "." + outerRef.Column)
+	if outerKey < 0 {
+		return nil, fmt.Errorf("executor: probe column %s missing from outer input", outerRef)
+	}
+	residual, err := compileAll(residuals, outSchema)
+	if err != nil {
+		return nil, err
+	}
+
+	out := storage.NewTable("join", outSchema)
+	row := make([]storage.Value, 0, outSchema.NumColumns())
+	inner := make([]storage.Value, 0, innerSchema.NumColumns())
+	for lr := 0; lr < left.NumRows(); lr++ {
+		probe := left.Value(lr, outerKey)
+		stats.Comparisons++ // the index search
+		for _, rr := range ix.Lookup(probe) {
+			stats.TuplesScanned++
+			inner = base.AppendRowTo(inner[:0], rr)
+			ok, err := innerFilter.eval(inner, stats)
+			if err != nil {
+				return nil, err
+			}
+			if !ok || !evalDisjunctions(innerOrFilter, inner, stats) {
+				continue
+			}
+			row = left.AppendRowTo(row[:0], lr)
+			row = append(row, inner...)
+			ok, err = residual.eval(row, stats)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if err := out.AppendRow(row...); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// columnMatches reports whether ref names alias.column (case-insensitive).
+func columnMatches(ref expr.ColumnRef, alias, column string) bool {
+	return strings.EqualFold(ref.Table, alias) && strings.EqualFold(ref.Column, column)
+}
+
+// joinSchema concatenates the two input schemas.
+func joinSchema(l, r *storage.Schema) (*storage.Schema, error) {
+	cols := make([]storage.ColumnDef, 0, l.NumColumns()+r.NumColumns())
+	cols = append(cols, l.Columns()...)
+	cols = append(cols, r.Columns()...)
+	return storage.NewSchema(cols...)
+}
+
+// nestedLoop joins left with the (re-scanned) inner input. When the inner
+// is a base scan, the base table is re-read for each outer row, applying
+// the scan filter each time — the honest cost the optimizer's
+// NestedLoopCost models. When the inner is itself a join (bushy plans), it
+// is materialized once and the materialization is re-read per outer row.
+func (e *Executor) nestedLoop(j *optimizer.Join, left *storage.Table, stats *Stats, rec *recorder, depth int) (*storage.Table, error) {
+	var innerBase *storage.Table
+	var innerFilter compiled
+	var innerOrFilter []compiledDisj
+	var innerSchema *storage.Schema
+	rescanBase := false
+
+	if scan, ok := j.Right.(*optimizer.Scan); ok {
+		base := e.cat.Data(scan.Table)
+		if base == nil {
+			return nil, fmt.Errorf("executor: no data registered for table %q", scan.Table)
+		}
+		schema, err := qualifiedSchema(scan.Alias, base.Schema())
+		if err != nil {
+			return nil, err
+		}
+		innerBase, innerSchema, rescanBase = base, schema, true
+		if innerFilter, err = compileAll(scan.Filter, schema); err != nil {
+			return nil, err
+		}
+		if innerOrFilter, err = compileDisjunctions(scan.FilterOr, schema); err != nil {
+			return nil, err
+		}
+		// The re-scanned inner is never materialized: record it with an
+		// unknown actual cardinality.
+		rec.reserve(scan, depth+1)
+	} else {
+		mat, err := e.run(j.Right, stats, rec, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		innerBase, innerSchema = mat, mat.Schema()
+	}
+
+	outSchema, err := joinSchema(left.Schema(), innerSchema)
+	if err != nil {
+		return nil, err
+	}
+	join, err := compileAll(j.Preds, outSchema)
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewTable("join", outSchema)
+	row := make([]storage.Value, 0, outSchema.NumColumns())
+	inner := make([]storage.Value, 0, innerSchema.NumColumns())
+	for lr := 0; lr < left.NumRows(); lr++ {
+		for rr := 0; rr < innerBase.NumRows(); rr++ {
+			stats.TuplesScanned++
+			inner = innerBase.AppendRowTo(inner[:0], rr)
+			if rescanBase {
+				ok, err := innerFilter.eval(inner, stats)
+				if err != nil {
+					return nil, err
+				}
+				if !ok || !evalDisjunctions(innerOrFilter, inner, stats) {
+					continue
+				}
+			}
+			row = left.AppendRowTo(row[:0], lr)
+			row = append(row, inner...)
+			ok, err := join.eval(row, stats)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if err := out.AppendRow(row...); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// sortMerge joins two materialized inputs on the first equality predicate,
+// applying the remaining predicates as residual filters.
+func (e *Executor) sortMerge(j *optimizer.Join, left, right *storage.Table, stats *Stats) (*storage.Table, error) {
+	keyPred, residuals := splitKey(j.Preds)
+	if keyPred == nil {
+		return nil, fmt.Errorf("executor: sort-merge join requires an equality predicate")
+	}
+	outSchema, err := joinSchema(left.Schema(), right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	lKey, rKey, err := keyColumns(*keyPred, left.Schema(), right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	residual, err := compileAll(residuals, outSchema)
+	if err != nil {
+		return nil, err
+	}
+
+	lIdx := left.SortedIndices(lKey)
+	rIdx := right.SortedIndices(rKey)
+	stats.Comparisons += sortComparisons(len(lIdx)) + sortComparisons(len(rIdx))
+
+	out := storage.NewTable("join", outSchema)
+	row := make([]storage.Value, 0, outSchema.NumColumns())
+	li, ri := 0, 0
+	for li < len(lIdx) && ri < len(rIdx) {
+		lv := left.Value(lIdx[li], lKey)
+		rv := right.Value(rIdx[ri], rKey)
+		stats.Comparisons++
+		if lv.IsNull() {
+			li++
+			continue
+		}
+		if rv.IsNull() {
+			ri++
+			continue
+		}
+		cmp := storage.Compare(lv, rv)
+		switch {
+		case cmp < 0:
+			li++
+		case cmp > 0:
+			ri++
+		default:
+			// Find the extent of the equal-key runs and emit their product.
+			lEnd := li
+			for lEnd < len(lIdx) && storage.Equal(left.Value(lIdx[lEnd], lKey), lv) {
+				lEnd++
+			}
+			rEnd := ri
+			for rEnd < len(rIdx) && storage.Equal(right.Value(rIdx[rEnd], rKey), rv) {
+				rEnd++
+			}
+			for a := li; a < lEnd; a++ {
+				for b := ri; b < rEnd; b++ {
+					stats.TuplesScanned++
+					row = left.AppendRowTo(row[:0], lIdx[a])
+					row = right.AppendRowTo(row, rIdx[b])
+					ok, err := residual.eval(row, stats)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						if err := out.AppendRow(row...); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+			li, ri = lEnd, rEnd
+		}
+	}
+	// Scanning both inputs counts as work even where keys never matched.
+	stats.TuplesScanned += int64(left.NumRows()) + int64(right.NumRows())
+	return out, nil
+}
+
+// hashJoin builds a hash table on the right input keyed by the first
+// equality predicate and probes it with the left input.
+func (e *Executor) hashJoin(j *optimizer.Join, left, right *storage.Table, stats *Stats) (*storage.Table, error) {
+	keyPred, residuals := splitKey(j.Preds)
+	if keyPred == nil {
+		return nil, fmt.Errorf("executor: hash join requires an equality predicate")
+	}
+	outSchema, err := joinSchema(left.Schema(), right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	lKey, rKey, err := keyColumns(*keyPred, left.Schema(), right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	residual, err := compileAll(residuals, outSchema)
+	if err != nil {
+		return nil, err
+	}
+	build := make(map[string][]int, right.NumRows())
+	for r := 0; r < right.NumRows(); r++ {
+		stats.TuplesScanned++
+		v := right.Value(r, rKey)
+		if v.IsNull() {
+			continue
+		}
+		k := v.Key()
+		build[k] = append(build[k], r)
+	}
+	out := storage.NewTable("join", outSchema)
+	row := make([]storage.Value, 0, outSchema.NumColumns())
+	for l := 0; l < left.NumRows(); l++ {
+		stats.TuplesScanned++
+		v := left.Value(l, lKey)
+		if v.IsNull() {
+			continue
+		}
+		for _, r := range build[v.Key()] {
+			row = left.AppendRowTo(row[:0], l)
+			row = right.AppendRowTo(row, r)
+			ok, err := residual.eval(row, stats)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if err := out.AppendRow(row...); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitKey picks the first equality join predicate as the physical key and
+// returns the rest as residuals.
+func splitKey(preds []expr.Predicate) (*expr.Predicate, []expr.Predicate) {
+	for i, p := range preds {
+		if p.Op == expr.OpEQ && p.RightIsColumn {
+			residuals := make([]expr.Predicate, 0, len(preds)-1)
+			residuals = append(residuals, preds[:i]...)
+			residuals = append(residuals, preds[i+1:]...)
+			return &preds[i], residuals
+		}
+	}
+	return nil, preds
+}
+
+// keyColumns resolves the key predicate's two sides to column ordinals in
+// the left and right schemas (in either order).
+func keyColumns(p expr.Predicate, l, r *storage.Schema) (int, int, error) {
+	lName := p.Left.Table + "." + p.Left.Column
+	rName := p.Right.Table + "." + p.Right.Column
+	if li := l.ColumnIndex(lName); li >= 0 {
+		if ri := r.ColumnIndex(rName); ri >= 0 {
+			return li, ri, nil
+		}
+	}
+	if li := l.ColumnIndex(rName); li >= 0 {
+		if ri := r.ColumnIndex(lName); ri >= 0 {
+			return li, ri, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("executor: key predicate %s does not span the join inputs", p)
+}
+
+// sortComparisons approximates n·log₂(n) for the comparison counter.
+func sortComparisons(n int) int64 {
+	if n < 2 {
+		return 0
+	}
+	c := int64(0)
+	for k := n; k > 1; k >>= 1 {
+		c++
+	}
+	return int64(n) * c
+}

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChainLengthSweep(t *testing.T) {
+	rows, err := RunChainLengthSweep(5, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (n = 2..5)", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's theorem: LS is exact for single-class chains.
+		if r.QErrLS > 1+1e-6 {
+			t.Errorf("n=%d: LS q-error %g, want 1 (exact)", r.N, r.QErrLS)
+		}
+		if r.QErrM < r.QErrSS-1e-9 {
+			t.Errorf("n=%d: M (%g) should err at least as much as SS (%g)", r.N, r.QErrM, r.QErrSS)
+		}
+	}
+	// Error grows with chain length for M (geometric divergence).
+	if !(rows[len(rows)-1].QErrM > rows[0].QErrM) {
+		t.Errorf("Rule M q-error should grow with n: %v", rows)
+	}
+	if _, err := RunChainLengthSweep(1, 5, 1); err == nil {
+		t.Error("maxN < 2 should error")
+	}
+	out := FormatChainLengthSweep(rows)
+	if !strings.Contains(out, "Rule LS") {
+		t.Errorf("format missing header:\n%s", out)
+	}
+}
+
+func TestZipfSweep(t *testing.T) {
+	rows, err := RunZipfSweep(500, 800, 100, []float64{0, 1.0}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Uniform data: the estimate should be decent (q-error below ~1.5).
+	if rows[0].QError > 1.5 {
+		t.Errorf("theta=0 q-error %g, want near 1", rows[0].QError)
+	}
+	// Skewed data: the uniformity assumption underestimates (skew piles
+	// matches on hot values), and the error must exceed the uniform case.
+	if rows[1].QError <= rows[0].QError {
+		t.Errorf("theta=1 q-error (%g) should exceed theta=0 (%g)", rows[1].QError, rows[0].QError)
+	}
+	if rows[1].Estimate >= rows[1].TrueSize {
+		t.Errorf("under skew the uniform estimate (%g) should undershoot the true size (%g)",
+			rows[1].Estimate, rows[1].TrueSize)
+	}
+	// The histogram-join extension should fix most of the skew error.
+	if rows[1].HistQError >= rows[1].QError {
+		t.Errorf("theta=1: hist q-error (%g) should beat plain ELS (%g)",
+			rows[1].HistQError, rows[1].QError)
+	}
+	if rows[1].HistQError > 1.5 {
+		t.Errorf("theta=1: hist q-error %g too large", rows[1].HistQError)
+	}
+	if _, err := RunZipfSweep(0, 1, 1, nil, 1); err == nil {
+		t.Error("bad sizes should error")
+	}
+	out := FormatZipfSweep(rows)
+	if !strings.Contains(out, "theta") {
+		t.Errorf("format missing header:\n%s", out)
+	}
+}
+
+func TestUrnVsLinear(t *testing.T) {
+	rows, err := RunUrnVsLinear(20000, 2000, []float64{0.1, 0.5, 0.9}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The urn model should track the truth closely.
+		if r.UrnQError > 1.1 {
+			t.Errorf("keep=%.1f: urn q-error %g, want <= 1.1", r.KeepFraction, r.UrnQError)
+		}
+	}
+	// At 50% retention the linear rule is badly wrong (the paper's Section 5
+	// contrast) while the urn model is nearly exact.
+	mid := rows[1]
+	if mid.LinearQError < 1.5 {
+		t.Errorf("keep=0.5: linear q-error %g, expected a large error", mid.LinearQError)
+	}
+	if mid.UrnQError >= mid.LinearQError {
+		t.Errorf("urn (%g) should beat linear (%g)", mid.UrnQError, mid.LinearQError)
+	}
+	if _, err := RunUrnVsLinear(10, 20, nil, 1); err == nil {
+		t.Error("distinct > rows should error")
+	}
+	out := FormatUrnVsLinear(rows)
+	if !strings.Contains(out, "urn") {
+		t.Errorf("format missing header:\n%s", out)
+	}
+}
+
+func TestRandomQueries(t *testing.T) {
+	rows, err := RunRandomQueries(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 algorithms", len(rows))
+	}
+	var els, smPTC RandomQueryRow
+	for _, r := range rows {
+		if r.GeoMeanQError < 1-1e-9 || r.MeanWorkRatio < 1-1e-9 {
+			t.Errorf("%s: impossible aggregates %+v", r.Algorithm, r)
+		}
+		switch r.Algorithm {
+		case "ELS":
+			els = r
+		case "SM+PTC":
+			smPTC = r
+		}
+	}
+	if els.Algorithm == "" || smPTC.Algorithm == "" {
+		t.Fatal("missing algorithm rows")
+	}
+	// ELS should estimate no worse than the multiplicative rule with
+	// closure on these uniform single-class workloads.
+	if els.GeoMeanQError > smPTC.GeoMeanQError+1e-9 {
+		t.Errorf("ELS q-error (%g) should not exceed SM+PTC (%g)", els.GeoMeanQError, smPTC.GeoMeanQError)
+	}
+	out := FormatRandomQueries(rows)
+	if !strings.Contains(out, "Algorithm") {
+		t.Errorf("format missing header:\n%s", out)
+	}
+}

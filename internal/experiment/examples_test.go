@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every worked example in the paper must reproduce exactly.
+func TestRunWorkedExamplesAllMatch(t *testing.T) {
+	examples, err := RunWorkedExamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(examples) != 12 {
+		t.Fatalf("examples = %d, want 12", len(examples))
+	}
+	for _, ex := range examples {
+		if !ex.Matches() {
+			t.Errorf("%s: got %g, paper says %g (%s)", ex.ID, ex.Got, ex.Want, ex.Description)
+		}
+	}
+}
+
+func TestWorkedExamplesCoverEveryExhibit(t *testing.T) {
+	examples, err := RunWorkedExamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[string]int)
+	for _, ex := range examples {
+		ids[ex.ID]++
+	}
+	for id, minCount := range map[string]int{
+		"Example 1b":  2,
+		"Example 2":   1,
+		"Example 3":   2,
+		"Section 3.3": 2,
+		"Section 5":   3,
+		"Section 6":   2,
+	} {
+		if ids[id] < minCount {
+			t.Errorf("exhibit %s has %d entries, want >= %d", id, ids[id], minCount)
+		}
+	}
+}
+
+func TestFormatWorkedExamples(t *testing.T) {
+	examples, err := RunWorkedExamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatWorkedExamples(examples)
+	if !strings.Contains(out, "Example 2") || !strings.Contains(out, "OK") {
+		t.Errorf("report missing content:\n%s", out)
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("report shows mismatches:\n%s", out)
+	}
+	bad := WorkedExample{ID: "X", Description: "d", Got: 1, Want: 2}
+	if !strings.Contains(bad.String(), "MISMATCH") {
+		t.Error("mismatching example should render MISMATCH")
+	}
+}

@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunIndependenceSweep(t *testing.T) {
+	rows, err := RunIndependenceSweep(20000, 100, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	indep, corr := rows[0], rows[1]
+	if indep.Correlated || !corr.Correlated {
+		t.Fatalf("row order wrong: %+v", rows)
+	}
+	// Independent columns: the multiplied selectivities are right
+	// (0.2 × 0.2 of 20000 = 800 expected).
+	if indep.QError > 1.2 {
+		t.Errorf("independent q-error = %g, want ≈1", indep.QError)
+	}
+	// Correlated columns: the true size is ~0.2 × 20000 = 4000 but the
+	// estimate stays ~800 — a ~5x underestimate.
+	if corr.QError < 3 {
+		t.Errorf("correlated q-error = %g, want ≈5 (independence violated)", corr.QError)
+	}
+	if corr.Estimate >= corr.TrueSize {
+		t.Errorf("correlated estimate (%g) should undershoot the truth (%g)", corr.Estimate, corr.TrueSize)
+	}
+	// Validation.
+	if _, err := RunIndependenceSweep(0, 10, 0.5, 1); err == nil {
+		t.Error("zero rows should error")
+	}
+	if _, err := RunIndependenceSweep(10, 10, 1.5, 1); err == nil {
+		t.Error("cut > 1 should error")
+	}
+	out := FormatIndependenceSweep(rows)
+	if !strings.Contains(out, "correlated") || !strings.Contains(out, "independent") {
+		t.Errorf("format output:\n%s", out)
+	}
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSampledStats(t *testing.T) {
+	rows, err := RunSampledStats(4000, []int{200, 1000, 4000}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (exact + 3 samples)", len(rows))
+	}
+	exact := rows[0]
+	if exact.SampleRows != 0 || exact.EstimateQError != 1 || exact.DistinctErr != 0 {
+		t.Errorf("exact baseline wrong: %+v", exact)
+	}
+	for _, r := range rows[1:] {
+		if r.EstimateQError < 1 {
+			t.Errorf("q-error below 1: %+v", r)
+		}
+		if r.DistinctErr < 0 || r.DistinctErr > 1 {
+			t.Errorf("distinct error out of range: %+v", r)
+		}
+	}
+	// Larger samples should estimate distinct counts at least roughly as
+	// well as tiny samples (allow slack for Chao noise).
+	small, large := rows[1], rows[3]
+	if large.DistinctErr > small.DistinctErr+0.10 {
+		t.Errorf("larger sample much worse: small %+v vs large %+v", small, large)
+	}
+	// Even the small sample should keep the estimate within a reasonable
+	// factor (Chao recovers most of the distinct mass on uniform data).
+	if small.EstimateQError > 5 {
+		t.Errorf("200-row sample q-error %g too large", small.EstimateQError)
+	}
+	if _, err := RunSampledStats(0, nil, 1); err == nil {
+		t.Error("zero rows should error")
+	}
+	out := FormatSampledStats(rows)
+	if !strings.Contains(out, "exact") || !strings.Contains(out, "q-error") {
+		t.Errorf("format output:\n%s", out)
+	}
+}

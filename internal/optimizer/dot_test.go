@@ -1,0 +1,60 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cardest"
+	"repro/internal/expr"
+)
+
+func TestFormatDot(t *testing.T) {
+	o := newOptimizer(t, cardest.ELS())
+	plan, err := o.BestPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := FormatDot(plan)
+	if !strings.HasPrefix(dot, "digraph plan {") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Errorf("not a digraph:\n%s", dot)
+	}
+	if got := strings.Count(dot, "Scan "); got != 4 {
+		t.Errorf("scans in dot = %d, want 4:\n%s", got, dot)
+	}
+	if got := strings.Count(dot, "->"); got != 6 {
+		t.Errorf("edges = %d, want 6 (two per join):\n%s", got, dot)
+	}
+	if !strings.Contains(dot, "(filtered)") {
+		t.Errorf("filtered scans should be marked:\n%s", dot)
+	}
+	// IndexNL plans surface the probe column.
+	est := twoTableEstimator(t)
+	// No index here, so just check the single-scan case renders.
+	o2, _ := New(est, PaperOptions())
+	scanPlan, _ := o2.PlanForOrder([]string{"A"})
+	single := FormatDot(scanPlan)
+	if !strings.Contains(single, "Scan A") {
+		t.Errorf("single scan dot:\n%s", single)
+	}
+}
+
+func TestFormatDotIndexJoin(t *testing.T) {
+	cat := indexedChainCatalog(t)
+	est, err := cardest.New(cat, []cardest.TableRef{{Table: "A"}, {Table: "B"}},
+		[]expr.Predicate{expr.NewJoin(ref("A", "k"), expr.OpEQ, ref("B", "k"))}, cardest.ELS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(est, Options{Methods: []JoinMethod{IndexNL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := o.PlanForOrder([]string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := FormatDot(plan)
+	if !strings.Contains(dot, "IDXNL join on k") {
+		t.Errorf("index join label missing:\n%s", dot)
+	}
+}

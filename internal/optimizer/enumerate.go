@@ -1,0 +1,146 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GreedyPlan builds a join order greedily: it starts from the table with
+// the smallest effective cardinality and repeatedly appends the table that
+// minimizes the estimated intermediate result size (ties broken by plan
+// cost, then by table order). Greedy heuristics are one of the incremental
+// estimation consumers the paper lists alongside dynamic programming.
+func (o *Optimizer) GreedyPlan() (Plan, error) {
+	n := len(o.aliases)
+	if n == 0 {
+		return nil, fmt.Errorf("optimizer: no tables")
+	}
+	used := make([]bool, n)
+	// Seed: smallest effective cardinality.
+	bestIdx, bestCard := -1, math.Inf(1)
+	for i, a := range o.aliases {
+		card, err := o.est.BaseSize(a)
+		if err != nil {
+			return nil, err
+		}
+		if card < bestCard {
+			bestIdx, bestCard = i, card
+		}
+	}
+	order := []string{o.aliases[bestIdx]}
+	used[bestIdx] = true
+	size := bestCard
+	for len(order) < n {
+		nextIdx, nextSize := -1, math.Inf(1)
+		for i, a := range o.aliases {
+			if used[i] {
+				continue
+			}
+			step, err := o.est.JoinStep(size, order, a)
+			if err != nil {
+				return nil, err
+			}
+			// Prefer connected extensions strongly: cartesian steps only win
+			// when nothing connects (their key is pushed above any finite
+			// connected size).
+			s := step.Size
+			if step.Cartesian {
+				s = math.Inf(1)
+			}
+			if nextIdx == -1 || s < nextSize {
+				nextIdx, nextSize = i, s
+			}
+		}
+		used[nextIdx] = true
+		order = append(order, o.aliases[nextIdx])
+		step, err := o.est.JoinStep(size, order[:len(order)-1], o.aliases[nextIdx])
+		if err != nil {
+			return nil, err
+		}
+		size = step.Size
+	}
+	return o.PlanForOrder(order)
+}
+
+// IterativeImprovementPlan runs the randomized iterative-improvement
+// search the paper cites ([14, 5]): random join-order starts, adjacent
+// transpositions as the move set, downhill moves only, best of all
+// restarts. The search is deterministic for a given seed.
+func (o *Optimizer) IterativeImprovementPlan(seed int64, restarts int) (Plan, error) {
+	n := len(o.aliases)
+	if n == 0 {
+		return nil, fmt.Errorf("optimizer: no tables")
+	}
+	if restarts <= 0 {
+		restarts = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var best Plan
+	for r := 0; r < restarts; r++ {
+		order := make([]string, n)
+		for i, p := range rng.Perm(n) {
+			order[i] = o.aliases[p]
+		}
+		plan, err := o.PlanForOrder(order)
+		if err != nil {
+			return nil, err
+		}
+		improved := true
+		for improved {
+			improved = false
+			for i := 0; i+1 < n; i++ {
+				order[i], order[i+1] = order[i+1], order[i]
+				cand, err := o.PlanForOrder(order)
+				if err == nil && cand.Cost() < plan.Cost() {
+					plan = cand
+					improved = true
+				} else {
+					order[i], order[i+1] = order[i+1], order[i]
+				}
+			}
+		}
+		if best == nil || plan.Cost() < best.Cost() {
+			best = plan
+		}
+	}
+	return best, nil
+}
+
+// ExhaustivePlan tries every left-deep join order (n! permutations; n must
+// be small) and returns the cheapest plan. It exists as a test oracle for
+// the dynamic programming search.
+func (o *Optimizer) ExhaustivePlan() (Plan, error) {
+	n := len(o.aliases)
+	if n == 0 {
+		return nil, fmt.Errorf("optimizer: no tables")
+	}
+	if n > 8 {
+		return nil, fmt.Errorf("optimizer: exhaustive search limited to 8 tables, got %d", n)
+	}
+	order := make([]string, n)
+	var best Plan
+	var permute func(remaining []string)
+	permute = func(remaining []string) {
+		if len(remaining) == 0 {
+			plan, err := o.PlanForOrder(order[:n-len(remaining)])
+			if err == nil && (best == nil || plan.Cost() < best.Cost()) {
+				best = plan
+			}
+			return
+		}
+		k := n - len(remaining)
+		for i := range remaining {
+			order[k] = remaining[i]
+			rest := make([]string, 0, len(remaining)-1)
+			rest = append(rest, remaining[:i]...)
+			rest = append(rest, remaining[i+1:]...)
+			permute(rest)
+		}
+	}
+	permute(append([]string{}, o.aliases...))
+	if best == nil {
+		return nil, fmt.Errorf("optimizer: no plan found")
+	}
+	return best, nil
+}

@@ -1,0 +1,224 @@
+// Package optimizer enumerates join orders and methods to produce query
+// evaluation plans (QEPs). It is deliberately a classic System-R style
+// optimizer — left-deep dynamic programming over connected subsets, with
+// nested-loops and sort-merge join methods as in the paper's Starburst
+// experiment — whose cardinality estimates come from a pluggable
+// cardest.Estimator. Plugging in Algorithm ELS versus Algorithm SM/SSS is
+// exactly the paper's experimental manipulation.
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cardest"
+	"repro/internal/expr"
+)
+
+// JoinMethod identifies a physical join algorithm.
+type JoinMethod int
+
+const (
+	// NestedLoop re-evaluates the inner input once per outer row.
+	NestedLoop JoinMethod = iota
+	// SortMerge sorts both inputs on the join key and merges.
+	SortMerge
+	// HashJoin builds a hash table on the inner input and probes it. The
+	// paper's experiment used only nested loops and sort-merge; hash join is
+	// provided for completeness and disabled in paper mode.
+	HashJoin
+	// IndexNL probes an ordered index on the inner base table's join column
+	// for each outer row. Only available when such an index exists (see
+	// catalog.BuildIndex); disabled in paper mode, where the access methods
+	// are deliberately held fixed.
+	IndexNL
+)
+
+// String names the method.
+func (m JoinMethod) String() string {
+	switch m {
+	case NestedLoop:
+		return "NL"
+	case SortMerge:
+		return "SM"
+	case HashJoin:
+		return "HASH"
+	case IndexNL:
+		return "IDXNL"
+	default:
+		return "?"
+	}
+}
+
+// Plan is a node of a query evaluation plan tree.
+type Plan interface {
+	// Tables returns the aliases covered by the subtree, sorted.
+	Tables() []string
+	// EstRows is the optimizer's estimated output cardinality.
+	EstRows() float64
+	// Cost is the estimated total cost of producing the output.
+	Cost() float64
+	// Width is the estimated output row width in bytes.
+	Width() int
+	// String renders a one-line summary.
+	String() string
+}
+
+// Scan is a leaf plan: a full scan of a base table with the table's local
+// predicates applied on the fly.
+type Scan struct {
+	// Alias is the query-visible name.
+	Alias string
+	// Table is the catalog table name.
+	Table string
+	// Filter holds the local predicates pushed into the scan.
+	Filter []expr.Predicate
+	// FilterOr holds the OR-groups (local disjunctions) pushed into the
+	// scan.
+	FilterOr []expr.Disjunction
+	// Rows is the estimated output cardinality (effective cardinality).
+	Rows float64
+	// BaseRows is the unreduced table cardinality (drives the scan cost).
+	BaseRows float64
+	// RowWidth is the row width in bytes.
+	RowWidth int
+	// ScanCost is the cost of one execution of the scan.
+	ScanCost float64
+}
+
+// Tables implements Plan.
+func (s *Scan) Tables() []string { return []string{s.Alias} }
+
+// EstRows implements Plan.
+func (s *Scan) EstRows() float64 { return s.Rows }
+
+// Cost implements Plan.
+func (s *Scan) Cost() float64 { return s.ScanCost }
+
+// Width implements Plan.
+func (s *Scan) Width() int { return s.RowWidth }
+
+// String implements Plan.
+func (s *Scan) String() string {
+	name := s.Alias
+	if !strings.EqualFold(s.Alias, s.Table) {
+		name = s.Table + " AS " + s.Alias
+	}
+	var filters []string
+	if c := expr.FormatConjunction(s.Filter); c != "" {
+		filters = append(filters, c)
+	}
+	for _, d := range s.FilterOr {
+		filters = append(filters, d.String())
+	}
+	if len(filters) > 0 {
+		return fmt.Sprintf("Scan(%s | %s) rows=%s cost=%.1f", name, strings.Join(filters, " AND "), fmtRows(s.Rows), s.ScanCost)
+	}
+	return fmt.Sprintf("Scan(%s) rows=%s cost=%.1f", name, fmtRows(s.Rows), s.ScanCost)
+}
+
+// Join is an inner plan node joining Left (outer) with Right (inner).
+type Join struct {
+	// Left is the outer input.
+	Left Plan
+	// Right is the inner input.
+	Right Plan
+	// Method is the physical join algorithm.
+	Method JoinMethod
+	// Preds are the join predicates applied at this node (all eligible
+	// predicates; the estimator decides which selectivities count).
+	Preds []expr.Predicate
+	// Rows is the estimated output cardinality.
+	Rows float64
+	// PlanCost is the estimated cumulative cost.
+	PlanCost float64
+	// Step records the estimator's per-group selectivity choices for
+	// EXPLAIN output.
+	Step cardest.StepResult
+	// IndexColumn is the inner base-table column whose index an IndexNL
+	// join probes (empty for other methods).
+	IndexColumn string
+	// tables caches the sorted alias set.
+	tables []string
+}
+
+// Tables implements Plan.
+func (j *Join) Tables() []string {
+	if j.tables == nil {
+		set := append([]string{}, j.Left.Tables()...)
+		set = append(set, j.Right.Tables()...)
+		sort.Strings(set)
+		j.tables = set
+	}
+	return j.tables
+}
+
+// EstRows implements Plan.
+func (j *Join) EstRows() float64 { return j.Rows }
+
+// Cost implements Plan.
+func (j *Join) Cost() float64 { return j.PlanCost }
+
+// Width implements Plan.
+func (j *Join) Width() int { return j.Left.Width() + j.Right.Width() }
+
+// String implements Plan.
+func (j *Join) String() string {
+	return fmt.Sprintf("%s(%s ⋈ %s) rows=%s cost=%.1f",
+		j.Method, strings.Join(j.Left.Tables(), ","), strings.Join(j.Right.Tables(), ","),
+		fmtRows(j.Rows), j.PlanCost)
+}
+
+func fmtRows(r float64) string {
+	if r == float64(int64(r)) && r < 1e15 && r >= 0 {
+		return fmt.Sprintf("%d", int64(r))
+	}
+	return fmt.Sprintf("%.3g", r)
+}
+
+// Format renders the plan tree with indentation, for EXPLAIN output.
+func Format(p Plan) string {
+	var b strings.Builder
+	formatInto(&b, p, 0)
+	return b.String()
+}
+
+func formatInto(b *strings.Builder, p Plan, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(p.String())
+	b.WriteByte('\n')
+	if j, ok := p.(*Join); ok {
+		formatInto(b, j.Left, depth+1)
+		formatInto(b, j.Right, depth+1)
+	}
+}
+
+// JoinOrder returns the base-table order of a left-deep plan (outermost
+// first). For bushy plans it returns a depth-first linearization.
+func JoinOrder(p Plan) []string {
+	switch n := p.(type) {
+	case *Scan:
+		return []string{n.Alias}
+	case *Join:
+		return append(JoinOrder(n.Left), JoinOrder(n.Right)...)
+	default:
+		return nil
+	}
+}
+
+// StepSizes returns the estimated sizes after each join of a left-deep
+// plan, innermost join first — the numbers reported in the paper's
+// Section 8 table ("Estimated Result Sizes").
+func StepSizes(p Plan) []float64 {
+	var out []float64
+	var walk func(Plan)
+	walk = func(n Plan) {
+		if j, ok := n.(*Join); ok {
+			walk(j.Left)
+			out = append(out, j.Rows)
+		}
+	}
+	walk(p)
+	return out
+}

@@ -1,0 +1,342 @@
+// Package repl implements the command processor behind cmd/elsrepl: an
+// interactive shell for loading data, declaring statistics, and exploring
+// how each estimation algorithm sees a query. The processor is pure
+// (reads lines, writes to an io.Writer), so it is fully testable.
+package repl
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	els "repro"
+)
+
+// Processor holds the session state of one REPL.
+type Processor struct {
+	sys  *els.System
+	algo els.Algorithm
+	out  io.Writer
+}
+
+// New creates a processor writing to out, starting with Algorithm ELS.
+func New(out io.Writer) *Processor {
+	return &Processor{sys: els.New(), algo: els.AlgorithmELS, out: out}
+}
+
+// System exposes the underlying system (used by tests and by callers that
+// preload data).
+func (p *Processor) System() *els.System { return p.sys }
+
+// Execute runs one input line. It returns true when the session should
+// end. Errors are printed to the output writer, not returned, so a REPL
+// session survives bad input; the error return is reserved for I/O
+// failures on the writer.
+func (p *Processor) Execute(line string) (quit bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "#") {
+		return false, nil
+	}
+	fields := strings.Fields(line)
+	cmd := strings.ToLower(fields[0])
+	switch cmd {
+	case "quit", "exit", "\\q":
+		return true, nil
+	case "help", "\\?":
+		return false, p.help()
+	case "algo":
+		return false, p.setAlgo(fields[1:])
+	case "algos":
+		for _, a := range els.Algorithms() {
+			fmt.Fprintln(p.out, a)
+		}
+		return false, nil
+	case "declare":
+		return false, p.declare(fields[1:])
+	case "load":
+		return false, p.load(fields[1:])
+	case "gen":
+		return false, p.gen(fields[1:])
+	case "tables":
+		return false, p.tables()
+	case "stats":
+		return false, p.stats(fields[1:])
+	case "explain":
+		return false, p.explain(strings.TrimSpace(line[len("explain"):]))
+	case "estimate":
+		return false, p.estimate(strings.TrimSpace(line[len("estimate"):]))
+	case "analyze":
+		return false, p.analyze(strings.TrimSpace(line[len("analyze"):]))
+	case "compare":
+		return false, p.compare(strings.TrimSpace(line[len("compare"):]))
+	case "select":
+		return false, p.run(line)
+	default:
+		p.printf("unknown command %q (try: help)\n", fields[0])
+		return false, nil
+	}
+}
+
+func (p *Processor) printf(format string, args ...any) {
+	fmt.Fprintf(p.out, format, args...)
+}
+
+func (p *Processor) help() error {
+	p.printf(`commands:
+  declare <name> <card> col=d [col=d ...]   register statistics-only table
+  load <name> <file.csv> [header] [hist=N]  load + ANALYZE a CSV file
+  gen <name> <col> <dist> <rows> <domain> [theta=T] [seed=S]
+                                            generate a synthetic table
+  tables                                    list tables
+  stats <name>                              show a table's statistics
+  algo <name>                               set the estimation algorithm
+  algos                                     list algorithms
+  estimate <sql>                            estimate without executing
+  explain <sql>                             show closure + plan + estimates
+  analyze <sql>                             execute and show est-vs-actual per node
+  SELECT ...                                plan and execute the query
+  compare <sql>                             run under ELS/SM/SM+PTC/SSS
+  quit
+`)
+	return nil
+}
+
+func (p *Processor) setAlgo(args []string) error {
+	if len(args) != 1 {
+		p.printf("usage: algo <name>; current: %s\n", p.algo)
+		return nil
+	}
+	for _, a := range els.Algorithms() {
+		if strings.EqualFold(a.String(), args[0]) {
+			p.algo = a
+			p.printf("algorithm: %s\n", a)
+			return nil
+		}
+	}
+	p.printf("unknown algorithm %q; use one of %v\n", args[0], els.Algorithms())
+	return nil
+}
+
+func (p *Processor) declare(args []string) error {
+	if len(args) < 2 {
+		p.printf("usage: declare <name> <card> col=d [col=d ...]\n")
+		return nil
+	}
+	card, err := strconv.ParseFloat(args[1], 64)
+	if err != nil {
+		p.printf("bad cardinality %q\n", args[1])
+		return nil
+	}
+	cols := map[string]float64{}
+	for _, kv := range args[2:] {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			p.printf("bad column spec %q (want col=distinct)\n", kv)
+			return nil
+		}
+		d, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			p.printf("bad distinct count %q\n", parts[1])
+			return nil
+		}
+		cols[parts[0]] = d
+	}
+	if err := p.sys.DeclareStats(args[0], card, cols); err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	p.printf("declared %s (card %g, %d columns)\n", args[0], card, len(cols))
+	return nil
+}
+
+func (p *Processor) load(args []string) error {
+	if len(args) < 2 {
+		p.printf("usage: load <name> <file.csv> [header] [hist=N]\n")
+		return nil
+	}
+	header := false
+	hist := 0
+	for _, opt := range args[2:] {
+		switch {
+		case strings.EqualFold(opt, "header"):
+			header = true
+		case strings.HasPrefix(strings.ToLower(opt), "hist="):
+			n, err := strconv.Atoi(opt[5:])
+			if err != nil {
+				p.printf("bad hist option %q\n", opt)
+				return nil
+			}
+			hist = n
+		default:
+			p.printf("unknown option %q\n", opt)
+			return nil
+		}
+	}
+	if err := p.sys.LoadCSV(args[0], args[1], header, hist); err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	card, _ := p.sys.TableCard(args[0])
+	p.printf("loaded %s (%g rows)\n", args[0], card)
+	return nil
+}
+
+func (p *Processor) gen(args []string) error {
+	if len(args) < 5 {
+		p.printf("usage: gen <name> <col> <dist> <rows> <domain> [theta=T] [seed=S]\n")
+		return nil
+	}
+	rows, err1 := strconv.Atoi(args[3])
+	domain, err2 := strconv.Atoi(args[4])
+	if err1 != nil || err2 != nil {
+		p.printf("bad rows/domain\n")
+		return nil
+	}
+	theta := 0.0
+	seed := int64(1)
+	for _, opt := range args[5:] {
+		switch {
+		case strings.HasPrefix(strings.ToLower(opt), "theta="):
+			if theta, err1 = strconv.ParseFloat(opt[6:], 64); err1 != nil {
+				p.printf("bad theta %q\n", opt)
+				return nil
+			}
+		case strings.HasPrefix(strings.ToLower(opt), "seed="):
+			n, err := strconv.ParseInt(opt[5:], 10, 64)
+			if err != nil {
+				p.printf("bad seed %q\n", opt)
+				return nil
+			}
+			seed = n
+		default:
+			p.printf("unknown option %q\n", opt)
+			return nil
+		}
+	}
+	if err := p.sys.GenerateTable(args[0], args[1], args[2], rows, domain, theta, seed); err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	p.printf("generated %s (%d rows, %s)\n", args[0], rows, args[2])
+	return nil
+}
+
+func (p *Processor) tables() error {
+	names := p.sys.Tables()
+	if len(names) == 0 {
+		p.printf("no tables\n")
+		return nil
+	}
+	for _, n := range names {
+		card, _ := p.sys.TableCard(n)
+		p.printf("%s  card=%g\n", n, card)
+	}
+	return nil
+}
+
+func (p *Processor) stats(args []string) error {
+	if len(args) != 1 {
+		p.printf("usage: stats <table>\n")
+		return nil
+	}
+	card, err := p.sys.TableCard(args[0])
+	if err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	p.printf("%s: card=%g\n", args[0], card)
+	cols, err := p.sys.TableColumns(args[0])
+	if err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		d, _ := p.sys.ColumnDistinct(args[0], c)
+		p.printf("  %s: distinct=%g\n", c, d)
+	}
+	return nil
+}
+
+func (p *Processor) explain(sql string) error {
+	if sql == "" {
+		p.printf("usage: explain <sql>\n")
+		return nil
+	}
+	out, err := p.sys.Explain(sql, p.algo)
+	if err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	p.printf("%s", out)
+	return nil
+}
+
+func (p *Processor) estimate(sql string) error {
+	if sql == "" {
+		p.printf("usage: estimate <sql>\n")
+		return nil
+	}
+	est, err := p.sys.Estimate(sql, p.algo)
+	if err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	p.printf("[%s] estimated size: %g (order %s)\n",
+		est.Algorithm, est.FinalSize, strings.Join(est.JoinOrder, "⋈"))
+	return nil
+}
+
+func (p *Processor) analyze(sql string) error {
+	if sql == "" {
+		p.printf("usage: analyze <sql>\n")
+		return nil
+	}
+	res, err := p.sys.Query(sql, p.algo)
+	if err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	p.printf("%s", res.FormatAnalyze())
+	p.printf("[%s] %d row(s) in %s\n", res.Estimate.Algorithm, res.Count, res.Elapsed.Round(1000))
+	return nil
+}
+
+func (p *Processor) run(sql string) error {
+	res, err := p.sys.Query(sql, p.algo)
+	if err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	if len(res.Columns) > 0 {
+		p.printf("%s\n", strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			p.printf("%s\n", strings.Join(row, "\t"))
+		}
+	}
+	p.printf("[%s] %d row(s), estimated %g, scanned %d tuples in %s\n",
+		res.Estimate.Algorithm, res.Count, res.Estimate.FinalSize,
+		res.TuplesScanned, res.Elapsed.Round(1000))
+	return nil
+}
+
+func (p *Processor) compare(sql string) error {
+	if sql == "" {
+		p.printf("usage: compare <sql>\n")
+		return nil
+	}
+	results, err := p.sys.CompareAlgorithms(sql)
+	if err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	p.printf("%-10s %-14s %14s %12s %12s\n", "algo", "order", "estimate", "tuples", "elapsed")
+	for _, r := range results {
+		p.printf("%-10s %-14s %14g %12d %12s\n",
+			r.Estimate.Algorithm, strings.Join(r.Estimate.JoinOrder, "⋈"),
+			r.Estimate.FinalSize, r.TuplesScanned, r.Elapsed.Round(1000))
+	}
+	return nil
+}

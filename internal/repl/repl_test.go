@@ -1,0 +1,242 @@
+package repl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runLines executes the lines and returns the combined output.
+func runLines(t *testing.T, lines ...string) string {
+	t.Helper()
+	var out strings.Builder
+	p := New(&out)
+	for _, l := range lines {
+		quit, err := p.Execute(l)
+		if err != nil {
+			t.Fatalf("line %q: %v", l, err)
+		}
+		if quit {
+			break
+		}
+	}
+	return out.String()
+}
+
+func TestQuitAndComments(t *testing.T) {
+	var out strings.Builder
+	p := New(&out)
+	for _, l := range []string{"", "-- comment", "# another"} {
+		if quit, _ := p.Execute(l); quit {
+			t.Errorf("%q should not quit", l)
+		}
+	}
+	for _, l := range []string{"quit", "exit", "\\q"} {
+		p := New(&out)
+		if quit, _ := p.Execute(l); !quit {
+			t.Errorf("%q should quit", l)
+		}
+	}
+}
+
+func TestHelpAndAlgos(t *testing.T) {
+	out := runLines(t, "help", "algos")
+	if !strings.Contains(out, "declare") || !strings.Contains(out, "ELS") {
+		t.Errorf("help/algos output:\n%s", out)
+	}
+}
+
+func TestDeclareAndEstimate(t *testing.T) {
+	out := runLines(t,
+		"declare R1 100 x=10",
+		"declare R2 1000 y=100",
+		"declare R3 1000 z=1000",
+		"estimate SELECT COUNT(*) FROM R1, R2, R3 WHERE x = y AND y = z",
+	)
+	if !strings.Contains(out, "estimated size: 1000") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestAlgoSwitching(t *testing.T) {
+	out := runLines(t,
+		"declare R1 100 x=10",
+		"declare R2 1000 y=100",
+		"declare R3 1000 z=1000",
+		"algo SM+PTC",
+		"estimate SELECT COUNT(*) FROM R2, R3, R1 WHERE R1.x = R2.y AND R2.y = R3.z",
+		"algo nonsense",
+		"algo",
+	)
+	if !strings.Contains(out, "algorithm: SM+PTC") {
+		t.Errorf("algo switch missing:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown algorithm") {
+		t.Errorf("bad algo not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "current: SM+PTC") {
+		t.Errorf("current algo not shown:\n%s", out)
+	}
+}
+
+func TestTablesAndStats(t *testing.T) {
+	out := runLines(t,
+		"tables",
+		"declare R 50 a=5 b=10",
+		"tables",
+		"stats R",
+		"stats missing",
+		"stats",
+	)
+	if !strings.Contains(out, "no tables") {
+		t.Errorf("empty tables not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "R  card=50") {
+		t.Errorf("tables listing wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "a: distinct=5") || !strings.Contains(out, "b: distinct=10") {
+		t.Errorf("stats output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Errorf("missing table error not shown:\n%s", out)
+	}
+}
+
+func TestGenAndSelect(t *testing.T) {
+	out := runLines(t,
+		"gen T k uniform 100 10 seed=7",
+		"SELECT COUNT(*) FROM T WHERE k < 5",
+	)
+	if !strings.Contains(out, "generated T") {
+		t.Errorf("gen output:\n%s", out)
+	}
+	if !strings.Contains(out, "row(s), estimated") {
+		t.Errorf("select output:\n%s", out)
+	}
+}
+
+func TestGenZipfAndCompare(t *testing.T) {
+	out := runLines(t,
+		"gen A k uniform 100 10 seed=1",
+		"gen B k uniform 200 10 seed=2",
+		"compare SELECT COUNT(*) FROM A, B WHERE A.k = B.k",
+	)
+	if !strings.Contains(out, "SM+PTC") || !strings.Contains(out, "ELS") {
+		t.Errorf("compare output:\n%s", out)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	out := runLines(t,
+		"declare S 1000 s=1000",
+		"declare M 10000 m=10000",
+		"explain SELECT COUNT(*) FROM S, M WHERE s = m AND s < 100",
+	)
+	if !strings.Contains(out, "plan:") || !strings.Contains(out, "implied by transitive closure") {
+		t.Errorf("explain output:\n%s", out)
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(path, []byte("k,v\n1,10\n2,20\n3,30\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runLines(t,
+		"load T "+path+" header hist=4",
+		"SELECT COUNT(*) FROM T WHERE k < 3",
+	)
+	if !strings.Contains(out, "loaded T (3 rows)") {
+		t.Errorf("load output:\n%s", out)
+	}
+	if !strings.Contains(out, "2 row(s)") {
+		t.Errorf("query output:\n%s", out)
+	}
+}
+
+func TestBadInputsDoNotCrash(t *testing.T) {
+	out := runLines(t,
+		"frobnicate",
+		"declare",
+		"declare T abc",
+		"declare T 10 bad",
+		"declare T 10 x=abc",
+		"load",
+		"load T /nonexistent/file.csv",
+		"load T x unknownopt",
+		"load T x hist=zz",
+		"gen",
+		"gen T k uniform aa bb",
+		"gen T k uniform 10 5 theta=x",
+		"gen T k uniform 10 5 seed=x",
+		"gen T k uniform 10 5 what=1",
+		"gen T k bogus 10 5",
+		"estimate",
+		"explain",
+		"compare",
+		"estimate SELECT COUNT(*) FROM missing",
+		"explain SELECT garbage(",
+		"SELECT COUNT(*) FROM missing",
+		"compare SELECT nope",
+	)
+	if !strings.Contains(out, "unknown command") {
+		t.Errorf("unknown command not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "usage:") {
+		t.Errorf("usage hints missing:\n%s", out)
+	}
+	if strings.Count(out, "error:") < 4 {
+		t.Errorf("errors should be reported inline:\n%s", out)
+	}
+}
+
+func TestProjectionQueryPrintsRows(t *testing.T) {
+	out := runLines(t,
+		"gen T k sequential 5 5 seed=3",
+		"SELECT T.k FROM T WHERE k < 2",
+	)
+	if !strings.Contains(out, "T.k") {
+		t.Errorf("projection header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2 row(s)") {
+		t.Errorf("row count missing:\n%s", out)
+	}
+}
+
+func TestAnalyzeCommand(t *testing.T) {
+	out := runLines(t,
+		"gen A k uniform 50 5 seed=1",
+		"gen B k uniform 80 5 seed=2",
+		"analyze SELECT COUNT(*) FROM A, B WHERE A.k = B.k",
+		"analyze",
+		"analyze SELECT nope",
+	)
+	if !strings.Contains(out, "est=") || !strings.Contains(out, "actual=") {
+		t.Errorf("analyze output missing node stats:\n%s", out)
+	}
+	if !strings.Contains(out, "usage: analyze") || !strings.Contains(out, "error:") {
+		t.Errorf("analyze error handling missing:\n%s", out)
+	}
+}
+
+func TestGroupByThroughREPL(t *testing.T) {
+	out := runLines(t,
+		"gen T k sequential 30 3 seed=1",
+		"SELECT k, COUNT(*) FROM T GROUP BY k",
+	)
+	if !strings.Contains(out, "3 row(s)") {
+		t.Errorf("GROUP BY output:\n%s", out)
+	}
+	if !strings.Contains(out, "COUNT(*)") {
+		t.Errorf("aggregate column header missing:\n%s", out)
+	}
+}
+
+func TestSystemAccessor(t *testing.T) {
+	p := New(&strings.Builder{})
+	if p.System() == nil {
+		t.Error("System() should not be nil")
+	}
+}

@@ -1,0 +1,85 @@
+package selest
+
+import "repro/internal/catalog"
+
+// HistogramJoinSelectivity estimates the selectivity of an equality join
+// between two columns from their histograms, relaxing the uniformity
+// assumption Equation 2 relies on — the extension the paper's Section 9
+// motivates for Zipfian data. For every pair of overlapping buckets the
+// expected number of matches is
+//
+//	c₁′ · c₂′ / max(d₁′, d₂′)
+//
+// (Equation 1 applied bucket-locally with pro-rated counts and distinct
+// values), and the selectivity is the total divided by n₁·n₂. The second
+// return value is false when either histogram is missing or empty, in
+// which case the caller should fall back to Equation 2.
+func HistogramJoinSelectivity(h1, h2 *catalog.Histogram) (float64, bool) {
+	if h1 == nil || h2 == nil || h1.Total <= 0 || h2.Total <= 0 ||
+		len(h1.Buckets) == 0 || len(h2.Buckets) == 0 {
+		return 0, false
+	}
+	var matches float64
+	for _, b1 := range h1.Buckets {
+		for _, b2 := range h2.Buckets {
+			lo := b1.Lo
+			if b2.Lo > lo {
+				lo = b2.Lo
+			}
+			hi := b1.Hi
+			if b2.Hi < hi {
+				hi = b2.Hi
+			}
+			if hi < lo {
+				continue
+			}
+			f1 := overlapFraction(b1, lo, hi)
+			f2 := overlapFraction(b2, lo, hi)
+			if f1 <= 0 || f2 <= 0 {
+				continue
+			}
+			c1, d1 := b1.Count*f1, b1.Distinct*f1
+			c2, d2 := b2.Count*f2, b2.Distinct*f2
+			if d1 < 1 {
+				d1 = 1
+			}
+			if d2 < 1 {
+				d2 = 1
+			}
+			dmax := d1
+			if d2 > dmax {
+				dmax = d2
+			}
+			matches += c1 * c2 / dmax
+		}
+	}
+	sel := matches / (h1.Total * h2.Total)
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel, true
+}
+
+// overlapFraction returns the fraction of bucket b falling inside [lo, hi]
+// under the uniform-within-bucket assumption. Zero-width (single-value)
+// buckets contribute fully when their point lies in the range.
+func overlapFraction(b catalog.Bucket, lo, hi float64) float64 {
+	width := b.Hi - b.Lo
+	if width <= 0 {
+		if b.Lo >= lo && b.Lo <= hi {
+			return 1
+		}
+		return 0
+	}
+	f := (hi - lo) / width
+	if f > 1 {
+		f = 1
+	}
+	if f < 0 {
+		f = 0
+	}
+	return f
+}

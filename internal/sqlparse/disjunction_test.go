@@ -1,0 +1,105 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+)
+
+func TestParseOrGroup(t *testing.T) {
+	q, err := Parse("SELECT * FROM t WHERE (t.x = 1 OR t.x = 2) AND t.y < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 1 || len(q.Disjunctions) != 1 {
+		t.Fatalf("where=%v disjunctions=%v", q.Where, q.Disjunctions)
+	}
+	if len(q.Disjunctions[0].Preds) != 2 {
+		t.Errorf("disjuncts = %v", q.Disjunctions[0].Preds)
+	}
+	if q.Where[0].Op != expr.OpLT {
+		t.Errorf("conjunct = %v", q.Where[0])
+	}
+}
+
+func TestParseOrWithoutParens(t *testing.T) {
+	q, err := Parse("SELECT * FROM t WHERE t.x = 1 OR t.x = 2 OR t.x = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Disjunctions) != 1 || len(q.Disjunctions[0].Preds) != 3 {
+		t.Fatalf("disjunctions = %v", q.Disjunctions)
+	}
+}
+
+func TestParseNestedOrGroups(t *testing.T) {
+	q, err := Parse("SELECT * FROM t WHERE ((t.x = 1 OR t.x = 2) OR t.x = 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Disjunctions) != 1 || len(q.Disjunctions[0].Preds) != 3 {
+		t.Fatalf("nested OR should flatten: %v", q.Disjunctions)
+	}
+}
+
+func TestParseAndInsideParensRejected(t *testing.T) {
+	if _, err := Parse("SELECT * FROM t WHERE (t.x = 1 AND t.y = 2)"); err == nil {
+		t.Error("AND inside parens should be rejected (CNF only)")
+	}
+}
+
+func TestParseSingleParenComparisonStillWorks(t *testing.T) {
+	q, err := Parse("SELECT * FROM t WHERE (t.x = 1) AND (t.y = 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 2 || len(q.Disjunctions) != 0 {
+		t.Errorf("where=%v disj=%v", q.Where, q.Disjunctions)
+	}
+}
+
+func TestBindDisjunction(t *testing.T) {
+	cat := catalog.New()
+	cat.MustAddTable(catalog.SimpleTable("T", 100, map[string]float64{"x": 10, "y": 10}))
+	q, err := ParseAndBind("SELECT COUNT(*) FROM T WHERE x = 1 OR y = 2", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Disjunctions[0].Preds[0].Left.Table != "T" {
+		t.Errorf("binding failed: %v", q.Disjunctions[0])
+	}
+	if q.Disjunctions[0].Table() != "T" {
+		t.Errorf("table = %q", q.Disjunctions[0].Table())
+	}
+}
+
+func TestBindDisjunctionCrossTableRejected(t *testing.T) {
+	cat := catalog.New()
+	cat.MustAddTable(catalog.SimpleTable("A", 100, map[string]float64{"x": 10}))
+	cat.MustAddTable(catalog.SimpleTable("B", 100, map[string]float64{"y": 10}))
+	if _, err := ParseAndBind("SELECT COUNT(*) FROM A, B WHERE x = 1 OR y = 2", cat); err == nil {
+		t.Error("cross-table disjunction should fail to bind")
+	}
+	if _, err := ParseAndBind("SELECT COUNT(*) FROM A, B WHERE A.x = B.y OR A.x = 1", cat); err == nil {
+		t.Error("join predicate inside OR should fail to bind")
+	}
+}
+
+func TestQueryStringWithDisjunction(t *testing.T) {
+	cat := catalog.New()
+	cat.MustAddTable(catalog.SimpleTable("T", 100, map[string]float64{"x": 10, "y": 10}))
+	q, err := ParseAndBind("SELECT COUNT(*) FROM T WHERE y < 9 AND (x = 1 OR x = 2)", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	if !strings.Contains(s, " OR ") || !strings.Contains(s, "T.y < 9") {
+		t.Errorf("String = %q", s)
+	}
+	// Round-trips through the parser.
+	if _, err := Parse(s); err != nil {
+		t.Errorf("rendered query %q fails to parse: %v", s, err)
+	}
+}

@@ -1,0 +1,142 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func groupByCatalog() *catalog.Catalog {
+	c := catalog.New()
+	c.MustAddTable(catalog.SimpleTable("T", 100, map[string]float64{"k": 10, "v": 50}))
+	c.MustAddTable(catalog.SimpleTable("U", 200, map[string]float64{"k": 10, "w": 20}))
+	return c
+}
+
+func TestParseAggregatesAndGroupBy(t *testing.T) {
+	q, err := Parse("SELECT k, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM T GROUP BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 6 || len(q.GroupBy) != 1 {
+		t.Fatalf("select=%v groupby=%v", q.Select, q.GroupBy)
+	}
+	wantAggs := []AggFunc{AggNone, AggCount, AggSum, AggMin, AggMax, AggAvg}
+	for i, want := range wantAggs {
+		if q.Select[i].Agg != want {
+			t.Errorf("item %d agg = %v, want %v", i, q.Select[i].Agg, want)
+		}
+	}
+	if !q.Select[1].Star {
+		t.Error("COUNT(*) should be Star")
+	}
+	if q.CountStar || q.Star {
+		t.Error("aggregate query must not use the legacy flags")
+	}
+}
+
+func TestParseCountStarFastPathPreserved(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.CountStar || len(q.Select) != 0 {
+		t.Errorf("COUNT(*) fast path broken: %+v", q)
+	}
+}
+
+func TestParseCountColumn(t *testing.T) {
+	q, err := Parse("SELECT COUNT(v) FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.CountStar || len(q.Select) != 1 || q.Select[0].Agg != AggCount || q.Select[0].Star {
+		t.Errorf("COUNT(v) parse: %+v", q)
+	}
+}
+
+func TestParseGroupByWithoutAggregates(t *testing.T) {
+	q, err := Parse("SELECT k FROM T GROUP BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 1 || q.Select[0].Agg != AggNone || len(q.GroupBy) != 1 {
+		t.Errorf("plain GROUP BY parse: %+v", q)
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	bad := []string{
+		"SELECT SUM(*) FROM T",
+		"SELECT FROB(v) FROM T",
+		"SELECT SUM(v FROM T",
+		"SELECT * FROM T GROUP BY k",
+		"SELECT k FROM T GROUP BY",
+		"SELECT k FROM T GROUP k",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("%q should fail", sql)
+		}
+	}
+}
+
+func TestBindGroupBy(t *testing.T) {
+	q, err := ParseAndBind("SELECT k, SUM(v) FROM T GROUP BY k", groupByCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.GroupBy[0].Table != "T" || q.Select[1].Col.Table != "T" {
+		t.Errorf("binding: %+v", q)
+	}
+}
+
+func TestBindGroupByValidation(t *testing.T) {
+	cat := groupByCatalog()
+	// Non-grouped plain column.
+	if _, err := ParseAndBind("SELECT v, COUNT(*) FROM T GROUP BY k", cat); err == nil {
+		t.Error("non-grouped column should fail to bind")
+	}
+	// Unknown group column.
+	if _, err := ParseAndBind("SELECT COUNT(*) FROM T GROUP BY zz", cat); err == nil {
+		t.Error("unknown group column should fail")
+	}
+	// Unknown aggregate subject.
+	if _, err := ParseAndBind("SELECT SUM(zz) FROM T", cat); err == nil {
+		t.Error("unknown aggregate column should fail")
+	}
+	// Ambiguous group column across tables.
+	if _, err := ParseAndBind("SELECT COUNT(*) FROM T, U WHERE T.k = U.k GROUP BY k", cat); err == nil {
+		t.Error("ambiguous group column should fail")
+	}
+}
+
+func TestGroupByQueryString(t *testing.T) {
+	q, err := ParseAndBind("SELECT k, SUM(v) FROM T WHERE v < 10 GROUP BY k", groupByCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, want := range []string{"SUM(T.v)", "GROUP BY T.k", "T.v < 10"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if _, err := Parse(s); err != nil {
+		t.Errorf("rendered query %q fails to reparse: %v", s, err)
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	names := map[AggFunc]string{AggCount: "COUNT", AggSum: "SUM", AggMin: "MIN", AggMax: "MAX", AggAvg: "AVG", AggNone: ""}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q", f, f.String())
+		}
+	}
+	item := SelectItem{Agg: AggCount, Star: true}
+	if item.String() != "COUNT(*)" {
+		t.Errorf("item = %q", item.String())
+	}
+}

@@ -1,0 +1,283 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// column is the typed column-major storage for one column. Exactly one of
+// the payload slices is used, selected by typ. nulls is nil until the first
+// NULL is appended.
+type column struct {
+	typ    Type
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	nulls  []bool
+}
+
+func newColumn(t Type) *column { return &column{typ: t} }
+
+func (c *column) length() int {
+	switch c.typ {
+	case TypeInt64:
+		return len(c.ints)
+	case TypeFloat64:
+		return len(c.floats)
+	case TypeString:
+		return len(c.strs)
+	case TypeBool:
+		return len(c.bools)
+	default:
+		return 0
+	}
+}
+
+func (c *column) append(v Value) error {
+	if v.Type() != c.typ {
+		if v.IsNull() {
+			// Permit NULLs of any declared type slot; store as this column's type.
+			v = Null(c.typ)
+		} else {
+			return fmt.Errorf("storage: cannot append %s value to %s column", v.Type(), c.typ)
+		}
+	}
+	if v.IsNull() {
+		if c.nulls == nil {
+			c.nulls = make([]bool, c.length())
+		}
+		c.nulls = append(c.nulls, true)
+	} else if c.nulls != nil {
+		c.nulls = append(c.nulls, false)
+	}
+	switch c.typ {
+	case TypeInt64:
+		if v.IsNull() {
+			c.ints = append(c.ints, 0)
+		} else {
+			c.ints = append(c.ints, v.i)
+		}
+	case TypeFloat64:
+		if v.IsNull() {
+			c.floats = append(c.floats, 0)
+		} else {
+			c.floats = append(c.floats, v.f)
+		}
+	case TypeString:
+		if v.IsNull() {
+			c.strs = append(c.strs, "")
+		} else {
+			c.strs = append(c.strs, v.s)
+		}
+	case TypeBool:
+		if v.IsNull() {
+			c.bools = append(c.bools, false)
+		} else {
+			c.bools = append(c.bools, v.b)
+		}
+	default:
+		return fmt.Errorf("storage: append to invalid column type")
+	}
+	return nil
+}
+
+func (c *column) value(i int) Value {
+	if c.nulls != nil && c.nulls[i] {
+		return Null(c.typ)
+	}
+	switch c.typ {
+	case TypeInt64:
+		return Int64(c.ints[i])
+	case TypeFloat64:
+		return Float64(c.floats[i])
+	case TypeString:
+		return String64(c.strs[i])
+	case TypeBool:
+		return Bool(c.bools[i])
+	default:
+		panic("storage: value from invalid column")
+	}
+}
+
+// Table is an append-only, column-major in-memory table.
+//
+// Tables are not safe for concurrent mutation; concurrent reads are safe
+// once loading is complete.
+type Table struct {
+	name   string
+	schema *Schema
+	cols   []*column
+	rows   int
+}
+
+// NewTable creates an empty table with the given name and schema.
+func NewTable(name string, schema *Schema) *Table {
+	cols := make([]*column, schema.NumColumns())
+	for i := range cols {
+		cols[i] = newColumn(schema.Column(i).Type)
+	}
+	return &Table{name: name, schema: schema, cols: cols}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumRows returns the number of rows currently stored.
+func (t *Table) NumRows() int { return t.rows }
+
+// AppendRow appends one row. The number and types of values must match the
+// schema.
+func (t *Table) AppendRow(vals ...Value) error {
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("storage: table %s: row has %d values, schema has %d columns",
+			t.name, len(vals), len(t.cols))
+	}
+	for i, v := range vals {
+		if err := t.cols[i].append(v); err != nil {
+			// Roll back the columns already appended for this row so the table
+			// stays rectangular.
+			for j := 0; j < i; j++ {
+				t.cols[j].truncate(t.rows)
+			}
+			return fmt.Errorf("storage: table %s column %s: %w", t.name, t.schema.Column(i).Name, err)
+		}
+	}
+	t.rows++
+	return nil
+}
+
+func (c *column) truncate(n int) {
+	switch c.typ {
+	case TypeInt64:
+		c.ints = c.ints[:n]
+	case TypeFloat64:
+		c.floats = c.floats[:n]
+	case TypeString:
+		c.strs = c.strs[:n]
+	case TypeBool:
+		c.bools = c.bools[:n]
+	}
+	if c.nulls != nil {
+		c.nulls = c.nulls[:n]
+	}
+}
+
+// MustAppendRow appends one row and panics on error. Intended for tests and
+// generators that construct rows from the table's own schema.
+func (t *Table) MustAppendRow(vals ...Value) {
+	if err := t.AppendRow(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// Value returns the value at the given row and column ordinals.
+func (t *Table) Value(row, col int) Value {
+	return t.cols[col].value(row)
+}
+
+// IntAt returns the int64 at (row, col) without boxing. It panics if the
+// column is not TypeInt64 or the value is NULL. Hot loops in the executor
+// use it to avoid allocation.
+func (t *Table) IntAt(row, col int) int64 {
+	c := t.cols[col]
+	if c.typ != TypeInt64 {
+		panic(fmt.Sprintf("storage: IntAt on %s column", c.typ))
+	}
+	if c.nulls != nil && c.nulls[row] {
+		panic("storage: IntAt on NULL")
+	}
+	return c.ints[row]
+}
+
+// Row materializes row i as a slice of values. The slice is freshly
+// allocated on each call.
+func (t *Table) Row(i int) []Value {
+	out := make([]Value, len(t.cols))
+	for c := range t.cols {
+		out[c] = t.cols[c].value(i)
+	}
+	return out
+}
+
+// AppendRowTo appends row i's values to dst and returns the extended slice,
+// letting callers reuse buffers across rows.
+func (t *Table) AppendRowTo(dst []Value, i int) []Value {
+	for c := range t.cols {
+		dst = append(dst, t.cols[c].value(i))
+	}
+	return dst
+}
+
+// ColumnValues returns all values of the named column in row order. It
+// returns an error if the column does not exist.
+func (t *Table) ColumnValues(name string) ([]Value, error) {
+	idx := t.schema.ColumnIndex(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("storage: table %s has no column %q", t.name, name)
+	}
+	out := make([]Value, t.rows)
+	for i := 0; i < t.rows; i++ {
+		out[i] = t.cols[idx].value(i)
+	}
+	return out, nil
+}
+
+// SortedIndices returns row indices of the table ordered by the given
+// column (NULLs first). The table itself is not modified; sort-merge join
+// uses the permutation to stream rows in order.
+func (t *Table) SortedIndices(col int) []int {
+	idx := make([]int, t.rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	c := t.cols[col]
+	sort.SliceStable(idx, func(a, b int) bool {
+		return Compare(c.value(idx[a]), c.value(idx[b])) < 0
+	})
+	return idx
+}
+
+// Rename returns a shallow copy of the table under a new name; the column
+// data is shared. Useful for self-joins and aliases.
+func (t *Table) Rename(name string) *Table {
+	return &Table{name: name, schema: t.schema, cols: t.cols, rows: t.rows}
+}
+
+// String renders a small human-readable summary (name, schema, row count).
+func (t *Table) String() string {
+	return fmt.Sprintf("%s%s [%d rows]", t.name, t.schema, t.rows)
+}
+
+// Format renders up to max rows as an aligned text table for debugging and
+// example programs. If max <= 0 all rows are rendered.
+func (t *Table) Format(max int) string {
+	if max <= 0 || max > t.rows {
+		max = t.rows
+	}
+	var b strings.Builder
+	for i, c := range t.schema.Columns() {
+		if i > 0 {
+			b.WriteByte('\t')
+		}
+		b.WriteString(c.Name)
+	}
+	b.WriteByte('\n')
+	for r := 0; r < max; r++ {
+		for c := 0; c < t.schema.NumColumns(); c++ {
+			if c > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(t.cols[c].value(r).String())
+		}
+		b.WriteByte('\n')
+	}
+	if max < t.rows {
+		fmt.Fprintf(&b, "... (%d more rows)\n", t.rows-max)
+	}
+	return b.String()
+}

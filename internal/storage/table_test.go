@@ -1,0 +1,284 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema(
+		ColumnDef{Name: "id", Type: TypeInt64},
+		ColumnDef{Name: "name", Type: TypeString},
+		ColumnDef{Name: "score", Type: TypeFloat64},
+	)
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	if _, err := NewSchema(ColumnDef{Name: "", Type: TypeInt64}); err == nil {
+		t.Error("empty column name should error")
+	}
+	if _, err := NewSchema(ColumnDef{Name: "x", Type: TypeInvalid}); err == nil {
+		t.Error("invalid type should error")
+	}
+	if _, err := NewSchema(
+		ColumnDef{Name: "x", Type: TypeInt64},
+		ColumnDef{Name: "X", Type: TypeInt64},
+	); err == nil {
+		t.Error("case-insensitive duplicate should error")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema should panic on bad schema")
+		}
+	}()
+	MustSchema(ColumnDef{Name: "", Type: TypeInt64})
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := testSchema(t)
+	if s.NumColumns() != 3 {
+		t.Fatalf("NumColumns = %d, want 3", s.NumColumns())
+	}
+	if s.ColumnIndex("ID") != 0 || s.ColumnIndex("Name") != 1 || s.ColumnIndex("score") != 2 {
+		t.Error("case-insensitive ColumnIndex failed")
+	}
+	if s.ColumnIndex("missing") != -1 {
+		t.Error("missing column should give -1")
+	}
+	if !s.HasColumn("id") || s.HasColumn("nope") {
+		t.Error("HasColumn wrong")
+	}
+	if s.Column(1).Name != "name" {
+		t.Error("Column(1) wrong")
+	}
+	cols := s.Columns()
+	cols[0].Name = "mutated"
+	if s.Column(0).Name != "id" {
+		t.Error("Columns() must return a copy")
+	}
+}
+
+func TestSchemaRowWidth(t *testing.T) {
+	s := testSchema(t)
+	want := 8 + 16 + 8
+	if s.RowWidth() != want {
+		t.Errorf("RowWidth = %d, want %d", s.RowWidth(), want)
+	}
+	empty := MustSchema()
+	if empty.RowWidth() <= 0 {
+		t.Error("empty schema RowWidth must be positive")
+	}
+}
+
+func TestSchemaConcat(t *testing.T) {
+	a := MustSchema(ColumnDef{Name: "x", Type: TypeInt64}, ColumnDef{Name: "y", Type: TypeInt64})
+	b := MustSchema(ColumnDef{Name: "x", Type: TypeInt64}, ColumnDef{Name: "z", Type: TypeInt64})
+	j, err := a.Concat(b, "l", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumColumns() != 4 {
+		t.Fatalf("concat columns = %d, want 4", j.NumColumns())
+	}
+	if j.ColumnIndex("x") != 0 {
+		t.Error("left x should keep plain name")
+	}
+	if j.ColumnIndex("r.x") != 2 {
+		t.Errorf("right x should be qualified, got schema %s", j)
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := testSchema(t)
+	got := s.String()
+	if !strings.Contains(got, "id BIGINT") || !strings.Contains(got, "score DOUBLE") {
+		t.Errorf("schema string %q missing pieces", got)
+	}
+}
+
+func TestTableAppendAndRead(t *testing.T) {
+	tbl := NewTable("people", testSchema(t))
+	if err := tbl.AppendRow(Int64(1), String64("ann"), Float64(3.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendRow(Int64(2), Null(TypeString), Float64(1.25)); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tbl.NumRows())
+	}
+	if tbl.Value(0, 0).Int() != 1 || tbl.Value(0, 1).Str() != "ann" {
+		t.Error("row 0 values wrong")
+	}
+	if !tbl.Value(1, 1).IsNull() {
+		t.Error("row 1 name should be NULL")
+	}
+	row := tbl.Row(1)
+	if len(row) != 3 || row[2].Float() != 1.25 {
+		t.Errorf("Row(1) = %v", row)
+	}
+}
+
+func TestTableAppendErrors(t *testing.T) {
+	tbl := NewTable("t", testSchema(t))
+	if err := tbl.AppendRow(Int64(1)); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	if err := tbl.AppendRow(String64("x"), String64("y"), Float64(0)); err == nil {
+		t.Error("type mismatch should error")
+	}
+	if tbl.NumRows() != 0 {
+		t.Error("failed appends must not change row count")
+	}
+	// A failure mid-row must roll back earlier columns of that row.
+	if err := tbl.AppendRow(Int64(1), Int64(2), Float64(0)); err == nil {
+		t.Error("second column type mismatch should error")
+	}
+	if err := tbl.AppendRow(Int64(9), String64("ok"), Float64(1)); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	if tbl.NumRows() != 1 || tbl.Value(0, 0).Int() != 9 {
+		t.Error("table corrupted after rolled-back append")
+	}
+}
+
+func TestMustAppendRowPanics(t *testing.T) {
+	tbl := NewTable("t", testSchema(t))
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppendRow should panic on bad row")
+		}
+	}()
+	tbl.MustAppendRow(Int64(1))
+}
+
+func TestTableIntAt(t *testing.T) {
+	tbl := NewTable("t", MustSchema(ColumnDef{Name: "v", Type: TypeInt64}))
+	tbl.MustAppendRow(Int64(17))
+	if tbl.IntAt(0, 0) != 17 {
+		t.Error("IntAt wrong")
+	}
+}
+
+func TestTableIntAtPanics(t *testing.T) {
+	tbl := NewTable("t", MustSchema(ColumnDef{Name: "v", Type: TypeInt64}))
+	tbl.MustAppendRow(Null(TypeInt64))
+	defer func() {
+		if recover() == nil {
+			t.Error("IntAt on NULL should panic")
+		}
+	}()
+	tbl.IntAt(0, 0)
+}
+
+func TestColumnValues(t *testing.T) {
+	tbl := NewTable("t", testSchema(t))
+	tbl.MustAppendRow(Int64(3), String64("a"), Float64(0))
+	tbl.MustAppendRow(Int64(1), String64("b"), Float64(0))
+	vals, err := tbl.ColumnValues("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0].Int() != 3 || vals[1].Int() != 1 {
+		t.Errorf("ColumnValues = %v", vals)
+	}
+	if _, err := tbl.ColumnValues("nope"); err == nil {
+		t.Error("missing column should error")
+	}
+}
+
+func TestSortedIndices(t *testing.T) {
+	tbl := NewTable("t", MustSchema(ColumnDef{Name: "v", Type: TypeInt64}))
+	for _, v := range []int64{5, 1, 4, 1, 3} {
+		tbl.MustAppendRow(Int64(v))
+	}
+	tbl.MustAppendRow(Null(TypeInt64))
+	idx := tbl.SortedIndices(0)
+	if len(idx) != 6 {
+		t.Fatalf("len = %d", len(idx))
+	}
+	if !tbl.Value(idx[0], 0).IsNull() {
+		t.Error("NULL should sort first")
+	}
+	prev := tbl.Value(idx[1], 0)
+	for _, i := range idx[2:] {
+		cur := tbl.Value(i, 0)
+		if Compare(prev, cur) > 0 {
+			t.Errorf("not sorted: %v > %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestRename(t *testing.T) {
+	tbl := NewTable("orig", MustSchema(ColumnDef{Name: "v", Type: TypeInt64}))
+	tbl.MustAppendRow(Int64(1))
+	alias := tbl.Rename("alias")
+	if alias.Name() != "alias" || alias.NumRows() != 1 || alias.Value(0, 0).Int() != 1 {
+		t.Error("Rename should share data under a new name")
+	}
+	if tbl.Name() != "orig" {
+		t.Error("Rename must not modify the original")
+	}
+}
+
+func TestAppendRowTo(t *testing.T) {
+	tbl := NewTable("t", testSchema(t))
+	tbl.MustAppendRow(Int64(1), String64("a"), Float64(2))
+	buf := make([]Value, 0, 8)
+	buf = tbl.AppendRowTo(buf, 0)
+	if len(buf) != 3 || buf[0].Int() != 1 {
+		t.Errorf("AppendRowTo = %v", buf)
+	}
+}
+
+func TestTableFormatAndString(t *testing.T) {
+	tbl := NewTable("t", MustSchema(ColumnDef{Name: "v", Type: TypeInt64}))
+	for i := int64(0); i < 5; i++ {
+		tbl.MustAppendRow(Int64(i))
+	}
+	out := tbl.Format(2)
+	if !strings.Contains(out, "3 more rows") {
+		t.Errorf("Format(2) missing truncation note: %q", out)
+	}
+	all := tbl.Format(0)
+	if strings.Contains(all, "more rows") {
+		t.Errorf("Format(0) should include all rows: %q", all)
+	}
+	if !strings.Contains(tbl.String(), "[5 rows]") {
+		t.Errorf("String() = %q", tbl.String())
+	}
+}
+
+func TestNullsAppearMidColumn(t *testing.T) {
+	// The nulls bitmap is lazily created; verify a NULL after non-NULLs works.
+	tbl := NewTable("t", MustSchema(ColumnDef{Name: "v", Type: TypeInt64}))
+	tbl.MustAppendRow(Int64(1))
+	tbl.MustAppendRow(Int64(2))
+	tbl.MustAppendRow(Null(TypeInt64))
+	tbl.MustAppendRow(Int64(4))
+	if tbl.Value(0, 0).IsNull() || tbl.Value(1, 0).IsNull() {
+		t.Error("early rows must not be NULL")
+	}
+	if !tbl.Value(2, 0).IsNull() {
+		t.Error("row 2 must be NULL")
+	}
+	if tbl.Value(3, 0).IsNull() || tbl.Value(3, 0).Int() != 4 {
+		t.Error("row 3 must be 4")
+	}
+}
+
+func TestNullOfWrongDeclaredType(t *testing.T) {
+	// A NULL value carrying a different type tag is coerced to the column type.
+	tbl := NewTable("t", MustSchema(ColumnDef{Name: "v", Type: TypeInt64}))
+	if err := tbl.AppendRow(Null(TypeString)); err != nil {
+		t.Fatalf("NULL of any type should be appendable: %v", err)
+	}
+	if !tbl.Value(0, 0).IsNull() || tbl.Value(0, 0).Type() != TypeInt64 {
+		t.Error("stored NULL should carry the column type")
+	}
+}

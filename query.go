@@ -1,0 +1,449 @@
+package els
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cardest"
+	"repro/internal/executor"
+	"repro/internal/optimizer"
+	"repro/internal/selest"
+	"repro/internal/sqlparse"
+)
+
+// StepEstimate describes one incremental join step of a plan's estimate.
+type StepEstimate struct {
+	// Table is the alias joined at this step.
+	Table string
+	// Size is the estimated result size after the step.
+	Size float64
+	// Selectivity is the combined join selectivity applied.
+	Selectivity float64
+	// Cartesian marks steps with no eligible join predicate.
+	Cartesian bool
+	// EligiblePredicates renders the join predicates considered.
+	EligiblePredicates []string
+}
+
+// Estimate is the outcome of estimating (and planning) a query.
+type Estimate struct {
+	// Algorithm is the estimation algorithm used.
+	Algorithm Algorithm
+	// JoinOrder is the chosen left-deep base-table order.
+	JoinOrder []string
+	// JoinMethods are the physical methods along the plan, innermost first.
+	JoinMethods []string
+	// Steps are the estimated sizes after each join, innermost first.
+	Steps []StepEstimate
+	// FinalSize is the estimated result size of the whole query.
+	FinalSize float64
+	// Cost is the optimizer's cost of the chosen plan.
+	Cost float64
+	// PlanText is the formatted plan tree.
+	PlanText string
+	// ImpliedPredicates renders the predicates added by transitive closure
+	// (empty for algorithms that do not close).
+	ImpliedPredicates []string
+	// GroupEstimate is the estimated number of groups for GROUP BY queries
+	// (the product of the grouping columns' effective cardinalities, capped
+	// by the join size estimate); 0 for ungrouped queries.
+	GroupEstimate float64
+}
+
+// NodeStat compares one plan node's estimated and actual output
+// cardinality (EXPLAIN ANALYZE data).
+type NodeStat struct {
+	// Node is the node's one-line plan description.
+	Node string
+	// Depth is the node's depth in the plan tree.
+	Depth int
+	// EstimatedRows is the optimizer's estimate.
+	EstimatedRows float64
+	// ActualRows is what execution produced; -1 for nodes that are never
+	// materialized (the re-scanned inner of a nested-loops join).
+	ActualRows int64
+}
+
+// Result is the outcome of executing a query.
+type Result struct {
+	// Estimate carries the plan and its estimates.
+	Estimate *Estimate
+	// Count is the number of result rows (the COUNT(*) value).
+	Count int64
+	// Columns are the output column names (empty for COUNT(*) queries the
+	// caller only counts).
+	Columns []string
+	// Rows holds the materialized output rendered as strings, capped at
+	// MaxRows by Query.
+	Rows [][]string
+	// TuplesScanned and Comparisons are deterministic work counters.
+	TuplesScanned, Comparisons int64
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+	// Nodes holds per-node estimated-vs-actual cardinalities (EXPLAIN
+	// ANALYZE), root-first.
+	Nodes []NodeStat
+}
+
+// FormatAnalyze renders the per-node estimate-vs-actual report.
+func (r *Result) FormatAnalyze() string {
+	var b strings.Builder
+	for _, n := range r.Nodes {
+		actual := "(not materialized)"
+		if n.ActualRows >= 0 {
+			actual = fmt.Sprintf("actual=%d", n.ActualRows)
+		}
+		fmt.Fprintf(&b, "%s%s  est=%.6g %s\n", strings.Repeat("  ", n.Depth), n.Node, n.EstimatedRows, actual)
+	}
+	return b.String()
+}
+
+// MaxRows caps the number of materialized rows Query copies into a Result.
+const MaxRows = 1000
+
+// optimizerOptions returns the paper repertoire (nested loops +
+// sort-merge), extended with index nested-loops when the user has built
+// any index.
+func (s *System) optimizerOptions() optimizer.Options {
+	opts := optimizer.PaperOptions()
+	if s.hasAnyIndex() {
+		opts.Methods = append(opts.Methods, optimizer.IndexNL)
+	}
+	return opts
+}
+
+// prepare parses, binds, estimates and plans a query under an algorithm.
+func (s *System) prepare(sql string, algo Algorithm) (*sqlparse.Query, optimizer.Plan, *optimizer.Optimizer, error) {
+	cfg, err := algo.config()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	q, err := sqlparse.ParseAndBind(sql, s.cat)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tabs := make([]cardest.TableRef, len(q.Tables))
+	for i, item := range q.Tables {
+		tabs[i] = cardest.TableRef{Alias: item.Alias, Table: item.Table}
+	}
+	est, err := cardest.NewQuery(s.cat, tabs, q.Where, q.Disjunctions, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	opt, err := optimizer.New(est, s.optimizerOptions())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	plan, err := opt.BestPlan()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return q, plan, opt, nil
+}
+
+func buildEstimate(algo Algorithm, plan optimizer.Plan, opt *optimizer.Optimizer) *Estimate {
+	e := &Estimate{
+		Algorithm:   algo,
+		JoinOrder:   optimizer.JoinOrder(plan),
+		JoinMethods: nil,
+		FinalSize:   plan.EstRows(),
+		Cost:        plan.Cost(),
+		PlanText:    optimizer.Format(plan),
+	}
+	var walk func(optimizer.Plan)
+	walk = func(n optimizer.Plan) {
+		if j, ok := n.(*optimizer.Join); ok {
+			walk(j.Left)
+			step := StepEstimate{
+				Table:       j.Step.Table,
+				Size:        j.Step.Size,
+				Selectivity: j.Step.Selectivity,
+				Cartesian:   j.Step.Cartesian,
+			}
+			for _, g := range j.Step.Groups {
+				for _, p := range g.Predicates {
+					step.EligiblePredicates = append(step.EligiblePredicates, p.String())
+				}
+			}
+			e.Steps = append(e.Steps, step)
+			e.JoinMethods = append(e.JoinMethods, j.Method.String())
+		}
+	}
+	walk(plan)
+	for _, p := range opt.Estimator().Implied() {
+		e.ImpliedPredicates = append(e.ImpliedPredicates, p.String())
+	}
+	return e
+}
+
+// estimateGroups computes the GROUP BY output-size estimate with the
+// paper's own urn model: the candidate group space is the product of the
+// grouping columns' effective cardinalities (the d′ values Algorithm ELS
+// maintains), and the expected number of non-empty groups among the
+// estimated join output of N rows is urn(D, N) — the same formula
+// Section 5 uses for surviving distinct values.
+func estimateGroups(q *sqlparse.Query, plan optimizer.Plan, opt *optimizer.Optimizer) float64 {
+	if len(q.GroupBy) == 0 {
+		return 0
+	}
+	groupSpace := 1.0
+	for _, ref := range q.GroupBy {
+		eff, err := opt.Estimator().Effective(ref.Table)
+		if err != nil {
+			continue
+		}
+		if d, err := eff.ColumnCard(ref.Column); err == nil && d > 0 {
+			groupSpace *= d
+		}
+	}
+	return selest.UrnDistinctCeil(groupSpace, plan.EstRows())
+}
+
+// Estimate parses the query, runs the selected estimation algorithm, plans
+// the query, and returns the estimates without executing anything. It works
+// on both declared-statistics and loaded tables.
+func (s *System) Estimate(sql string, algo Algorithm) (*Estimate, error) {
+	q, plan, opt, err := s.prepare(sql, algo)
+	if err != nil {
+		return nil, err
+	}
+	est := buildEstimate(algo, plan, opt)
+	est.GroupEstimate = estimateGroups(q, plan, opt)
+	return est, nil
+}
+
+// EstimateOrder estimates the query along a fixed join order (the aliases
+// of the FROM clause in the desired sequence), as the paper's worked
+// examples do.
+func (s *System) EstimateOrder(sql string, algo Algorithm, order []string) (*Estimate, error) {
+	cfg, err := algo.config()
+	if err != nil {
+		return nil, err
+	}
+	q, err := sqlparse.ParseAndBind(sql, s.cat)
+	if err != nil {
+		return nil, err
+	}
+	tabs := make([]cardest.TableRef, len(q.Tables))
+	for i, item := range q.Tables {
+		tabs[i] = cardest.TableRef{Alias: item.Alias, Table: item.Table}
+	}
+	est, err := cardest.NewQuery(s.cat, tabs, q.Where, q.Disjunctions, cfg)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := optimizer.New(est, s.optimizerOptions())
+	if err != nil {
+		return nil, err
+	}
+	plan, err := opt.PlanForOrder(order)
+	if err != nil {
+		return nil, err
+	}
+	return buildEstimate(algo, plan, opt), nil
+}
+
+// Explain returns a human-readable report: implied predicates, the chosen
+// plan, and the per-step estimates.
+func (s *System) Explain(sql string, algo Algorithm) (string, error) {
+	est, err := s.Estimate(sql, algo)
+	if err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf("algorithm: %s\n", est.Algorithm)
+	if len(est.ImpliedPredicates) > 0 {
+		out += "implied by transitive closure:\n"
+		for _, p := range est.ImpliedPredicates {
+			out += "  " + p + "\n"
+		}
+	}
+	out += "plan:\n" + est.PlanText
+	out += fmt.Sprintf("estimated result size: %g (cost %.1f)\n", est.FinalSize, est.Cost)
+	return out, nil
+}
+
+// ExplainDot plans the query under the algorithm and returns the chosen
+// plan as a Graphviz DOT digraph.
+func (s *System) ExplainDot(sql string, algo Algorithm) (string, error) {
+	_, plan, _, err := s.prepare(sql, algo)
+	if err != nil {
+		return "", err
+	}
+	return optimizer.FormatDot(plan), nil
+}
+
+// Query plans and executes the SQL under the selected algorithm. Every
+// table referenced must have loaded data (LoadTable/GenerateTable).
+func (s *System) Query(sql string, algo Algorithm) (*Result, error) {
+	q, plan, opt, err := s.prepare(sql, algo)
+	if err != nil {
+		return nil, err
+	}
+	exec := executor.New(s.cat)
+	res, err := exec.Execute(plan)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Estimate:      buildEstimate(algo, plan, opt),
+		Count:         res.Stats.RowsProduced,
+		TuplesScanned: res.Stats.TuplesScanned,
+		Comparisons:   res.Stats.Comparisons,
+		Elapsed:       res.Stats.Elapsed,
+	}
+	for _, n := range res.Nodes {
+		out.Nodes = append(out.Nodes, NodeStat{
+			Node: n.Node, Depth: n.Depth, EstimatedRows: n.EstRows, ActualRows: n.ActualRows,
+		})
+	}
+	out.Estimate.GroupEstimate = estimateGroups(q, plan, opt)
+	if len(q.Select) > 0 {
+		return s.aggregateResult(q, res, out)
+	}
+	if !q.CountStar {
+		// Materialize (a cap of) the projected rows.
+		schema := res.Table.Schema()
+		cols := make([]int, 0, schema.NumColumns())
+		if q.Star {
+			for i := 0; i < schema.NumColumns(); i++ {
+				cols = append(cols, i)
+				out.Columns = append(out.Columns, schema.Column(i).Name)
+			}
+		} else {
+			for _, ref := range q.Projection {
+				idx := schema.ColumnIndex(ref.Table + "." + ref.Column)
+				if idx < 0 {
+					return nil, fmt.Errorf("els: projection column %s missing from result", ref)
+				}
+				cols = append(cols, idx)
+				out.Columns = append(out.Columns, ref.String())
+			}
+		}
+		n := res.Table.NumRows()
+		if n > MaxRows {
+			n = MaxRows
+		}
+		for r := 0; r < n; r++ {
+			row := make([]string, len(cols))
+			for i, c := range cols {
+				row[i] = res.Table.Value(r, c).String()
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// CompareAlgorithms estimates and executes the query under every algorithm
+// in algos (all algorithms if empty), returning results in order. All
+// executions must produce the same count; an inconsistency is an error.
+func (s *System) CompareAlgorithms(sql string, algos ...Algorithm) ([]*Result, error) {
+	if len(algos) == 0 {
+		algos = []Algorithm{AlgorithmELS, AlgorithmSM, AlgorithmSMPTC, AlgorithmSSS}
+	}
+	var out []*Result
+	for _, a := range algos {
+		r, err := s.Query(sql, a)
+		if err != nil {
+			return nil, fmt.Errorf("els: %s: %w", a, err)
+		}
+		if len(out) > 0 && r.Count != out[0].Count {
+			return nil, fmt.Errorf("els: plans disagree: %s counted %d, %s counted %d",
+				algos[0], out[0].Count, a, r.Count)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// aggregateResult applies the query's GROUP BY and aggregate select list
+// to the executed join result and renders the grouped rows.
+func (s *System) aggregateResult(q *sqlparse.Query, res *executor.Result, out *Result) (*Result, error) {
+	schema := res.Table.Schema()
+	colIdx := func(ref string) (int, error) {
+		idx := schema.ColumnIndex(ref)
+		if idx < 0 {
+			return 0, fmt.Errorf("els: column %s missing from result", ref)
+		}
+		return idx, nil
+	}
+	groupCols := make([]int, len(q.GroupBy))
+	for i, ref := range q.GroupBy {
+		idx, err := colIdx(ref.Table + "." + ref.Column)
+		if err != nil {
+			return nil, err
+		}
+		groupCols[i] = idx
+	}
+	// Build the aggregate specs and remember how to lay out the output in
+	// select-list order: plain items read group columns, aggregate items
+	// read the aggregate outputs.
+	var aggs []executor.AggSpec
+	layout := make([]int, len(q.Select)) // output ordinal in the Aggregate() table
+	for i, item := range q.Select {
+		if item.Agg == sqlparse.AggNone {
+			pos := -1
+			for gi, g := range q.GroupBy {
+				if g.SameAs(item.Col) {
+					pos = gi
+					break
+				}
+			}
+			if pos < 0 {
+				return nil, fmt.Errorf("els: column %s must appear in GROUP BY", item.Col)
+			}
+			layout[i] = pos
+			continue
+		}
+		spec := executor.AggSpec{Name: fmt.Sprintf("a%d", i)}
+		switch item.Agg {
+		case sqlparse.AggCount:
+			if item.Star {
+				spec.Op = executor.AggCountStar
+			} else {
+				spec.Op = executor.AggCount
+			}
+		case sqlparse.AggSum:
+			spec.Op = executor.AggSum
+		case sqlparse.AggMin:
+			spec.Op = executor.AggMin
+		case sqlparse.AggMax:
+			spec.Op = executor.AggMax
+		case sqlparse.AggAvg:
+			spec.Op = executor.AggAvg
+		default:
+			return nil, fmt.Errorf("els: unsupported aggregate %v", item.Agg)
+		}
+		if !item.Star {
+			idx, err := colIdx(item.Col.Table + "." + item.Col.Column)
+			if err != nil {
+				return nil, err
+			}
+			spec.Col = idx
+		}
+		layout[i] = len(q.GroupBy) + len(aggs)
+		aggs = append(aggs, spec)
+	}
+	grouped, err := executor.Aggregate(res.Table, groupCols, aggs)
+	if err != nil {
+		return nil, err
+	}
+	out.Count = int64(grouped.NumRows())
+	out.Columns = make([]string, len(q.Select))
+	for i, item := range q.Select {
+		out.Columns[i] = item.String()
+	}
+	n := grouped.NumRows()
+	if n > MaxRows {
+		n = MaxRows
+	}
+	for r := 0; r < n; r++ {
+		row := make([]string, len(q.Select))
+		for i, src := range layout {
+			row[i] = grouped.Value(r, src).String()
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

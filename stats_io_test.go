@@ -1,0 +1,56 @@
+package els
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Statistics survive an export/import round trip, and the imported system
+// estimates identically — the workflow of sharing optimizer statistics
+// without sharing data.
+func TestExportImportStats(t *testing.T) {
+	src := New()
+	src.MustDeclareStats("S", 1000, map[string]float64{"s": 1000})
+	src.MustDeclareStats("M", 10000, map[string]float64{"m": 10000})
+	sql := "SELECT COUNT(*) FROM S, M WHERE s = m AND s < 100"
+	want, err := src.Estimate(sql, AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.ExportStats(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	if err := dst.ImportStats(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Estimate(sql, AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FinalSize != want.FinalSize {
+		t.Errorf("imported estimate %g != original %g", got.FinalSize, want.FinalSize)
+	}
+	if err := dst.ImportStats(strings.NewReader("{bad")); err == nil {
+		t.Error("malformed import should error")
+	}
+}
+
+func TestExplainDot(t *testing.T) {
+	sys := New()
+	sys.MustDeclareStats("A", 100, map[string]float64{"k": 10})
+	sys.MustDeclareStats("B", 200, map[string]float64{"k": 10})
+	dot, err := sys.ExplainDot("SELECT COUNT(*) FROM A, B WHERE A.k = B.k", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot, "digraph plan") || !strings.Contains(dot, "->") {
+		t.Errorf("dot output:\n%s", dot)
+	}
+	if _, err := sys.ExplainDot("garbage(", AlgorithmELS); err == nil {
+		t.Error("bad SQL should error")
+	}
+}
