@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/governor"
 )
 
 func main() {
@@ -25,11 +27,36 @@ func main() {
 		scale     = flag.Int("scale", 1, "divide the Section 8 table sizes by this factor")
 		seed      = flag.Int64("seed", 42, "random seed for data generation")
 		estimates = flag.Bool("estimates-only", false, "skip data generation and execution (Section 8)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *which, *scale, *seed, *estimates); err != nil {
+	err := withTimeout(*timeout, func() error {
+		return run(os.Stdout, *which, *scale, *seed, *estimates)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "elsbench:", err)
 		os.Exit(1)
+	}
+}
+
+// withTimeout bounds f's wall-clock time, reporting overrun as the same
+// typed budget error the library's governor produces. On timeout the
+// worker goroutine is abandoned — acceptable here because main exits
+// immediately afterwards.
+func withTimeout(d time.Duration, f func() error) error {
+	if d <= 0 {
+		return f()
+	}
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- f() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		return &governor.BudgetError{
+			Resource: "wall-clock", Limit: int64(d), Used: int64(time.Since(start)),
+		}
 	}
 }
 

@@ -36,19 +36,22 @@ func main() {
 	flag.Var(&tables, "table", "table spec name:card:col=distinct[,col=distinct...] (repeatable)")
 	sql := flag.String("sql", "", "query to explain (required)")
 	algo := flag.String("algo", "", "single algorithm to show (default: all)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per explain (0 = none)")
+	maxPlans := flag.Int64("max-plans", 0, "enumerated-plan budget per explain (0 = none)")
 	flag.Parse()
 
-	if err := run(tables, *sql, *algo); err != nil {
+	if err := run(tables, *sql, *algo, els.Limits{Timeout: *timeout, MaxPlans: *maxPlans}); err != nil {
 		fmt.Fprintln(os.Stderr, "elsexplain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tables []string, sql, algoName string) error {
+func run(tables []string, sql, algoName string, limits els.Limits) error {
 	if sql == "" {
 		return fmt.Errorf("-sql is required")
 	}
 	sys := els.New()
+	sys.SetLimits(limits)
 	if len(tables) == 0 {
 		tables = []string{
 			"S:1000:s=1000", "M:10000:m=10000", "B:50000:b=50000", "G:100000:g=100000",

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	els "repro"
+)
 
 func TestParseTableSpec(t *testing.T) {
 	name, card, cols, err := parseTableSpec("S:1000:s=1000,t=50")
@@ -34,24 +39,33 @@ func TestParseTableSpecErrors(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run(nil, "", ""); err == nil {
+	if err := run(nil, "", "", els.Limits{}); err == nil {
 		t.Error("missing -sql should error")
 	}
-	if err := run([]string{"bad"}, "SELECT COUNT(*) FROM S", ""); err == nil {
+	if err := run([]string{"bad"}, "SELECT COUNT(*) FROM S", "", els.Limits{}); err == nil {
 		t.Error("bad table spec should error")
 	}
-	if err := run(nil, "SELECT COUNT(*) FROM S", "nope"); err == nil {
+	if err := run(nil, "SELECT COUNT(*) FROM S", "nope", els.Limits{}); err == nil {
 		t.Error("unknown algorithm should error")
 	}
-	if err := run(nil, "not sql", "ELS"); err == nil {
+	if err := run(nil, "not sql", "ELS", els.Limits{}); err == nil {
 		t.Error("bad SQL should error")
 	}
 	// The default Section 8 catalog works end to end.
-	if err := run(nil, "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100", "ELS"); err != nil {
+	if err := run(nil, "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100", "ELS", els.Limits{}); err != nil {
 		t.Errorf("default run failed: %v", err)
 	}
 	// Duplicate declaration via AddTable replacement is fine.
-	if err := run([]string{"A:10:x=5", "B:20:y=10"}, "SELECT COUNT(*) FROM A, B WHERE A.x = B.y", ""); err != nil {
+	if err := run([]string{"A:10:x=5", "B:20:y=10"}, "SELECT COUNT(*) FROM A, B WHERE A.x = B.y", "", els.Limits{}); err != nil {
 		t.Errorf("custom catalog run failed: %v", err)
+	}
+}
+
+// -max-plans governs plan enumeration and surfaces the typed budget error.
+func TestRunPlanBudget(t *testing.T) {
+	err := run(nil, "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g", "ELS",
+		els.Limits{MaxPlans: 1})
+	if !errors.Is(err, els.ErrBudgetExceeded) {
+		t.Errorf("want ErrBudgetExceeded, got %v", err)
 	}
 }

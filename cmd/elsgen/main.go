@@ -19,8 +19,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/datagen"
+	"repro/internal/governor"
 )
 
 func main() {
@@ -28,11 +30,36 @@ func main() {
 	cols := flag.String("cols", "k:uniform:100", "column specs name:dist:domain[:theta], comma separated")
 	seed := flag.Int64("seed", 42, "generator seed")
 	header := flag.Bool("header", false, "emit a CSV header row")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for generation (0 = none)")
 	flag.Parse()
 
-	if err := run(*rows, *cols, *seed, *header, os.Stdout); err != nil {
+	err := withTimeout(*timeout, func() error {
+		return run(*rows, *cols, *seed, *header, os.Stdout)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "elsgen:", err)
 		os.Exit(1)
+	}
+}
+
+// withTimeout bounds f's wall-clock time, reporting overrun as the same
+// typed budget error the library's governor produces. On timeout the
+// worker goroutine is abandoned — acceptable here because main exits
+// immediately afterwards.
+func withTimeout(d time.Duration, f func() error) error {
+	if d <= 0 {
+		return f()
+	}
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- f() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		return &governor.BudgetError{
+			Resource: "wall-clock", Limit: int64(d), Used: int64(time.Since(start)),
+		}
 	}
 }
 

@@ -6,44 +6,69 @@
 //
 //	echo 'declare R 1000 x=100
 //	      estimate SELECT COUNT(*) FROM R WHERE x < 10' | elsrepl
+//
+// Resource budgets applied to every query can be set up front with
+// -timeout, -max-tuples, -max-rows, and -max-plans, or at runtime with the
+// "limits" command inside the shell.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	els "repro"
 	"repro/internal/repl"
 )
 
 func main() {
-	p := repl.New(os.Stdout)
-	in := bufio.NewScanner(os.Stdin)
-	in.Buffer(make([]byte, 1<<20), 1<<20)
-	interactive := isTerminal()
+	timeout := flag.Duration("timeout", 0, "per-query wall-clock budget (0 = none)")
+	maxTuples := flag.Int64("max-tuples", 0, "per-query scanned-tuple budget (0 = none)")
+	maxRows := flag.Int64("max-rows", 0, "per-query materialized-row budget (0 = none)")
+	maxPlans := flag.Int64("max-plans", 0, "per-query enumerated-plan budget (0 = none)")
+	flag.Parse()
+	limits := els.Limits{
+		Timeout:   *timeout,
+		MaxTuples: *maxTuples,
+		MaxRows:   *maxRows,
+		MaxPlans:  *maxPlans,
+	}
+	if err := run(os.Stdin, os.Stdout, limits, isTerminal()); err != nil {
+		fmt.Fprintln(os.Stderr, "elsrepl:", err)
+		os.Exit(1)
+	}
+}
+
+// run drives one REPL session reading commands from in and writing results
+// to out. It returns only on input exhaustion, a "quit" command, or an I/O
+// error; per-command failures are reported to out and the session
+// continues.
+func run(in io.Reader, out io.Writer, limits els.Limits, interactive bool) error {
+	p := repl.New(out)
+	p.System().SetLimits(limits)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if interactive {
-		fmt.Println("els repl — type 'help' for commands")
+		fmt.Fprintln(out, "els repl — type 'help' for commands")
 	}
 	for {
 		if interactive {
-			fmt.Print("els> ")
+			fmt.Fprint(out, "els> ")
 		}
-		if !in.Scan() {
+		if !sc.Scan() {
 			break
 		}
-		quit, err := p.Execute(in.Text())
+		quit, err := p.Execute(sc.Text())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "elsrepl:", err)
-			os.Exit(1)
+			return err
 		}
 		if quit {
 			break
 		}
 	}
-	if err := in.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "elsrepl:", err)
-		os.Exit(1)
-	}
+	return sc.Err()
 }
 
 // isTerminal reports whether stdin looks interactive (best-effort, stdlib

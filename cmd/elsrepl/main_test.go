@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	els "repro"
+)
+
+// A scripted session must round-trip: generate data, estimate, execute, and
+// report a COUNT(*) result that matches the join's true size.
+func TestScriptedRoundTrip(t *testing.T) {
+	// Single-value domains make the join an exact cross product, so the
+	// estimate and the executed count are both exactly 50*40.
+	script := strings.Join([]string{
+		"gen R x uniform 50 1 seed=1",
+		"gen S x uniform 40 1 seed=2",
+		"estimate SELECT COUNT(*) FROM R, S WHERE R.x = S.x",
+		"SELECT COUNT(*) FROM R, S WHERE R.x = S.x",
+		"quit",
+	}, "\n")
+	var out strings.Builder
+	if err := run(strings.NewReader(script), &out, els.Limits{}, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"generated R (50 rows, uniform)",
+		"generated S (40 rows, uniform)",
+		"estimated size: 2000",
+		"2000 row(s)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// Bad input is reported on the session's output and must not abort the
+// session: commands after the failure still run.
+func TestErrorsDoNotAbortSession(t *testing.T) {
+	script := strings.Join([]string{
+		"frobnicate",                           // unknown command
+		"estimate SELECT COUNT(*) FROM nosuch", // unknown table
+		"declare R 1000 x=100",                 // session still alive
+		"tables",
+	}, "\n")
+	var out strings.Builder
+	if err := run(strings.NewReader(script), &out, els.Limits{}, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, `unknown command "frobnicate"`) {
+		t.Errorf("missing unknown-command report:\n%s", got)
+	}
+	if !strings.Contains(got, "error:") {
+		t.Errorf("missing error report for unknown table:\n%s", got)
+	}
+	if !strings.Contains(got, "R  card=1000") {
+		t.Errorf("session did not survive errors:\n%s", got)
+	}
+}
+
+// Budgets passed via flags govern queries, and the limits command can
+// inspect and clear them mid-session.
+func TestLimitsGovernSession(t *testing.T) {
+	script := strings.Join([]string{
+		"gen R x uniform 50 1 seed=1",
+		"gen S x uniform 40 1 seed=2",
+		"limits",
+		"SELECT COUNT(*) FROM R, S WHERE R.x = S.x", // budget hit
+		"limits off",
+		"SELECT COUNT(*) FROM R, S WHERE R.x = S.x", // now succeeds
+	}, "\n")
+	var out strings.Builder
+	if err := run(strings.NewReader(script), &out, els.Limits{MaxTuples: 1}, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "tuples=1") {
+		t.Errorf("limits command does not show flag-provided budget:\n%s", got)
+	}
+	if !strings.Contains(got, "budget exceeded") {
+		t.Errorf("budgeted query did not fail:\n%s", got)
+	}
+	if !strings.Contains(got, "2000 row(s)") {
+		t.Errorf("query after 'limits off' did not succeed:\n%s", got)
+	}
+}

@@ -1,6 +1,8 @@
 package els
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 )
@@ -50,5 +52,54 @@ func TestConcurrentQueries(t *testing.T) {
 		if c != baseline.Count {
 			t.Errorf("concurrent count %d != baseline %d", c, baseline.Count)
 		}
+	}
+}
+
+// Cancelling a context from another goroutine while the executor is mid-join
+// must terminate the query promptly with a clean ErrCanceled — no panic, no
+// partial-result success — and must not disturb concurrent uncancelled
+// queries (verified under -race).
+func TestCancelMidExecution(t *testing.T) {
+	sys := New()
+	// Single-value columns so every join degenerates to a full cross
+	// product: 80^3 candidate tuples give cancellation plenty of runway
+	// while staying cheap enough for the uncancelled bystander below.
+	for _, name := range []string{"X", "Y", "Z"} {
+		if err := sys.GenerateTable(name, "k", "uniform", 80, 1, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sql := "SELECT COUNT(*) FROM X, Y, Z WHERE X.k = Y.k AND Y.k = Z.k"
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		<-started
+		cancel()
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var bystanderErr error
+	go func() {
+		defer wg.Done()
+		// An ungoverned query on the same system keeps running to completion
+		// while its sibling is cancelled.
+		_, bystanderErr = sys.Query(sql, AlgorithmELS)
+	}()
+
+	close(started)
+	_, err := sys.QueryContext(ctx, sql, AlgorithmELS)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	wg.Wait()
+	if bystanderErr != nil {
+		t.Fatalf("uncancelled sibling query failed: %v", bystanderErr)
+	}
+
+	// The system remains fully usable after the cancellation.
+	if _, err := sys.Query(sql, AlgorithmELS); err != nil {
+		t.Fatalf("query after cancel: %v", err)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/cardest"
 	"repro/internal/catalog"
@@ -129,6 +130,9 @@ func Algorithms() []Algorithm {
 // the estimation/planning/execution pipeline.
 type System struct {
 	cat *catalog.Catalog
+
+	mu     sync.RWMutex
+	limits Limits // default per-query resource budgets (zero: ungoverned)
 }
 
 // New creates an empty system.
@@ -146,7 +150,7 @@ func (s *System) DeclareStats(name string, rows float64, distinct map[string]flo
 		return fmt.Errorf("els: table name required")
 	}
 	if rows < 0 {
-		return fmt.Errorf("els: negative cardinality")
+		return fmt.Errorf("%w: negative cardinality %g for table %s", ErrBadStats, rows, name)
 	}
 	return s.cat.AddTable(catalog.SimpleTable(name, rows, distinct))
 }
@@ -216,12 +220,16 @@ func (s *System) LoadCSV(name, path string, header bool, histBuckets int) error 
 		return fmt.Errorf("els: %w", err)
 	}
 	defer f.Close()
-	return s.LoadCSVReader(name, f, header, histBuckets)
+	return s.loadCSVReader(name, f, header, histBuckets, path)
 }
 
 // LoadCSVReader is LoadCSV from an arbitrary reader.
 func (s *System) LoadCSVReader(name string, r io.Reader, header bool, histBuckets int) error {
-	tbl, err := csvload.Load(name, r, csvload.Options{Header: header, NullToken: "NULL"})
+	return s.loadCSVReader(name, r, header, histBuckets, "")
+}
+
+func (s *System) loadCSVReader(name string, r io.Reader, header bool, histBuckets int, filename string) error {
+	tbl, err := csvload.Load(name, r, csvload.Options{Header: header, NullToken: "NULL", Filename: filename})
 	if err != nil {
 		return err
 	}

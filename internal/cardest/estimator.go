@@ -9,8 +9,15 @@ import (
 	"repro/internal/closure"
 	"repro/internal/eqclass"
 	"repro/internal/expr"
+	"repro/internal/faultinject"
 	"repro/internal/selest"
 )
+
+// PointNewQuery is the fault-injection probe hit on estimator
+// construction. A Payload of type func(*catalog.TableStats) corrupts each
+// table's cloned statistics before sanitization, exercising the graceful
+// degradation path end to end.
+const PointNewQuery = "cardest.newquery"
 
 // TableRef binds a query alias to a catalog table. An empty Alias defaults
 // to the table name.
@@ -34,16 +41,17 @@ func (t TableRef) Name() string {
 // ELS (steps 1–5): duplicate elimination, transitive closure, equivalence
 // classes, local selectivities, effective statistics.
 type Estimator struct {
-	cfg     Config
-	cat     *catalog.Catalog
-	refs    []TableRef
-	preds   []expr.Predicate // the (possibly closed) predicate set
-	disjs   []expr.Disjunction
-	implied []expr.Predicate
-	classes *eqclass.Classes
-	eff     map[string]*selest.EffectiveStats // keyed by lower-cased alias
-	base    map[string]*catalog.TableStats    // alias -> stats (renamed clone)
-	repSel  map[string]float64                // class id -> representative selectivity
+	cfg      Config
+	cat      *catalog.Catalog
+	refs     []TableRef
+	preds    []expr.Predicate // the (possibly closed) predicate set
+	disjs    []expr.Disjunction
+	implied  []expr.Predicate
+	classes  *eqclass.Classes
+	eff      map[string]*selest.EffectiveStats // keyed by lower-cased alias
+	base     map[string]*catalog.TableStats    // alias -> stats (renamed clone)
+	repSel   map[string]float64                // class id -> representative selectivity
+	warnings []string                          // statistics repairs applied during construction
 }
 
 // New builds an estimator for a query over the given tables and predicate
@@ -76,8 +84,23 @@ func NewQuery(cat *catalog.Catalog, tables []TableRef, preds []expr.Predicate, d
 		repSel: make(map[string]float64),
 	}
 
+	// The construction probe can fail the estimator outright or hand back
+	// a statistics corruptor to be applied to every cloned table below.
+	var corrupt func(*catalog.TableStats)
+	if f, fired := faultinject.Fire(PointNewQuery); fired {
+		if f.PanicValue != nil {
+			panic(f.PanicValue)
+		}
+		if f.Err != nil {
+			return nil, f.Err
+		}
+		corrupt, _ = f.Payload.(func(*catalog.TableStats))
+	}
+
 	// Resolve tables; clone stats under the alias name so predicate
-	// References checks work against aliases.
+	// References checks work against aliases. The clones are sanitized so
+	// that corrupt catalog statistics (NaN, negative, zero column
+	// cardinalities) degrade to paper defaults instead of propagating.
 	seen := make(map[string]bool, len(tables))
 	for _, tr := range tables {
 		alias := tr.Name()
@@ -92,6 +115,10 @@ func NewQuery(cat *catalog.Catalog, tables []TableRef, preds []expr.Predicate, d
 		}
 		clone := ts.Clone()
 		clone.Name = alias
+		if corrupt != nil {
+			corrupt(clone)
+		}
+		e.warnings = append(e.warnings, sanitizeStats(clone)...)
 		e.base[k] = clone
 		e.refs = append(e.refs, tr)
 	}
@@ -255,6 +282,11 @@ func (e *Estimator) Predicates() []expr.Predicate { return e.preds }
 
 // Implied returns only the predicates added by transitive closure.
 func (e *Estimator) Implied() []expr.Predicate { return e.implied }
+
+// Warnings lists the statistics repairs applied during construction (one
+// entry per corrupt statistic degraded to a paper default). Empty for
+// healthy catalogs.
+func (e *Estimator) Warnings() []string { return e.warnings }
 
 // Disjunctions returns the query's OR-groups (deduplicated).
 func (e *Estimator) Disjunctions() []expr.Disjunction { return e.disjs }

@@ -1,0 +1,97 @@
+package cardest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/selest"
+)
+
+// Graceful degradation for broken catalog statistics. Production catalogs
+// rot: a botched ANALYZE, a corrupted stats import, or a fault-injected
+// failure can leave NaN, negative, or zero statistics behind. Rather than
+// propagate garbage into every downstream estimate (NaN selectivities
+// poison whole plans), the estimator repairs its per-query clone of the
+// statistics to the paper's own defaults before the preliminary phase runs.
+// The repair is per-query and never mutates the shared catalog.
+const (
+	// DefaultTableCard replaces a missing/NaN/negative table cardinality.
+	// It is the ‖S‖=1000 "small table" of the paper's Section 8 catalog — a
+	// deliberately modest guess, as Selinger-style systems default modestly
+	// when statistics are absent.
+	DefaultTableCard = 1000
+	// DefaultEqSelectivity is the classic System R default selectivity for
+	// an equality predicate with unknown statistics (1/10, Selinger et al.
+	// 1979). A repaired column cardinality is derived from it: d = 1/S.
+	DefaultEqSelectivity = 1.0 / 10.0
+	// defaultRowWidth replaces a non-positive row width (one int64 column).
+	defaultRowWidth = 8
+)
+
+// defaultDistinct is the fallback column cardinality for a table of card
+// rows: the urn-model expectation of filling d = 1/DefaultEqSelectivity
+// urns with card balls (Section 5's surviving-distinct formula). For large
+// tables this converges to 10 — i.e. the Selinger 1/10 equality default —
+// while small tables degrade smoothly to d ≤ ‖R‖.
+func defaultDistinct(card float64) float64 {
+	d := selest.UrnDistinctCeil(1/DefaultEqSelectivity, card)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// invalid reports statistics values estimation formulas cannot consume.
+func invalid(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0) || v < 0
+}
+
+// sanitizeStats repairs one table's cloned statistics in place and returns
+// a human-readable warning per repair. A zero table cardinality is legal
+// (an empty table estimates to zero everywhere); a zero column cardinality
+// on a non-empty table is not (it would zero or explode selectivities) and
+// falls back to the urn default.
+func sanitizeStats(ts *catalog.TableStats) []string {
+	var warns []string
+	if invalid(ts.Card) {
+		warns = append(warns, fmt.Sprintf(
+			"table %s: cardinality %g is invalid; using default %d", ts.Name, ts.Card, DefaultTableCard))
+		ts.Card = DefaultTableCard
+	}
+	if ts.RowWidth <= 0 {
+		ts.RowWidth = defaultRowWidth
+	}
+	for _, cs := range ts.Columns {
+		d := cs.Distinct
+		switch {
+		case invalid(d) || (d == 0 && ts.Card > 0):
+			fallback := defaultDistinct(ts.Card)
+			warns = append(warns, fmt.Sprintf(
+				"table %s column %s: column cardinality %g is invalid; using urn default %g (Selinger 1/%g equality selectivity)",
+				ts.Name, cs.Name, d, fallback, 1/DefaultEqSelectivity))
+			cs.Distinct = fallback
+		case d > ts.Card && ts.Card > 0:
+			warns = append(warns, fmt.Sprintf(
+				"table %s column %s: column cardinality %g exceeds table cardinality %g; clamping",
+				ts.Name, cs.Name, d, ts.Card))
+			cs.Distinct = ts.Card
+		}
+		if invalid(cs.NullCount) {
+			cs.NullCount = 0
+		}
+		if cs.HasRange && (math.IsNaN(cs.Min) || math.IsNaN(cs.Max) || cs.Min > cs.Max) {
+			// An unusable range disables range statistics rather than feeding
+			// NaN interpolation into local-predicate selectivities. Empty
+			// tables degrade silently: their [0, −1] range is a benign
+			// artifact of declaring zero distinct values.
+			if ts.Card > 0 {
+				warns = append(warns, fmt.Sprintf(
+					"table %s column %s: min/max range [%g, %g] is invalid; dropping range statistics",
+					ts.Name, cs.Name, cs.Min, cs.Max))
+			}
+			cs.HasRange = false
+		}
+	}
+	return warns
+}

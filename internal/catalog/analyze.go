@@ -3,8 +3,13 @@ package catalog
 import (
 	"fmt"
 
+	"repro/internal/faultinject"
 	"repro/internal/storage"
 )
+
+// PointAnalyze is the fault-injection probe hit when ANALYZE starts, so
+// tests can simulate a statistics-collection failure during catalog load.
+const PointAnalyze = "catalog.analyze"
 
 // AnalyzeOptions configures statistics collection.
 type AnalyzeOptions struct {
@@ -22,6 +27,9 @@ type AnalyzeOptions struct {
 func (c *Catalog) Analyze(tbl *storage.Table, opts AnalyzeOptions) (*TableStats, error) {
 	if tbl == nil {
 		return nil, fmt.Errorf("catalog: Analyze(nil)")
+	}
+	if err := faultinject.Check(PointAnalyze); err != nil {
+		return nil, fmt.Errorf("catalog: analyze %s: %w", tbl.Name(), err)
 	}
 	schema := tbl.Schema()
 	ts := &TableStats{

@@ -17,9 +17,11 @@ package catalog
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
+	"repro/internal/governor"
 	"repro/internal/index"
 	"repro/internal/storage"
 )
@@ -110,15 +112,16 @@ func (c *Catalog) AddTable(ts *TableStats) error {
 	if ts == nil || ts.Name == "" {
 		return fmt.Errorf("catalog: table stats must have a name")
 	}
-	if ts.Card < 0 {
-		return fmt.Errorf("catalog: table %s: negative cardinality %g", ts.Name, ts.Card)
+	if ts.Card < 0 || math.IsNaN(ts.Card) {
+		return fmt.Errorf("%w: table %s: cardinality %g", governor.ErrBadStats, ts.Name, ts.Card)
 	}
 	if ts.Columns == nil {
 		ts.Columns = make(map[string]*ColumnStats)
 	}
 	for k, cs := range ts.Columns {
-		if cs.Distinct < 0 {
-			return fmt.Errorf("catalog: table %s column %s: negative distinct count", ts.Name, k)
+		if cs.Distinct < 0 || math.IsNaN(cs.Distinct) {
+			return fmt.Errorf("%w: table %s column %s: distinct count %g",
+				governor.ErrBadStats, ts.Name, k, cs.Distinct)
 		}
 		if cs.Distinct > ts.Card && ts.Card > 0 {
 			// A column cannot have more distinct values than rows; clamp, as a

@@ -2,17 +2,27 @@
 // handling and per-column type inference (int64 → float64 → string). It is
 // the bridge between externally generated datasets (including cmd/elsgen
 // output) and the catalog's ANALYZE path.
+//
+// Malformed input — ragged records, truncated quotes, unparsable fields —
+// is reported with the source file name (when Options.Filename is set) and
+// the 1-based input line, so a bad row in a large dataset is findable.
 package csvload
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 
+	"repro/internal/faultinject"
 	"repro/internal/storage"
 )
+
+// PointLoad is the fault-injection probe fired on entry to Load, letting
+// tests simulate unreadable or corrupt data files.
+const PointLoad = "csvload.load"
 
 // Options configures CSV import.
 type Options struct {
@@ -23,6 +33,24 @@ type Options struct {
 	Comma rune
 	// NullToken, when non-empty, marks NULL values (case-insensitive).
 	NullToken string
+	// Filename, when non-empty, names the input source in error messages
+	// ("data.csv:5: ..."). Purely diagnostic; the data still comes from the
+	// reader passed to Load.
+	Filename string
+}
+
+// where formats an input position for error messages.
+func (o Options) where(line int) string {
+	if o.Filename != "" {
+		return fmt.Sprintf("%s:%d", o.Filename, line)
+	}
+	return fmt.Sprintf("line %d", line)
+}
+
+// record is one CSV record with the 1-based input line it started on.
+type record struct {
+	fields []string
+	line   int
 }
 
 // Load reads CSV from r into a new table with the given name. All records
@@ -30,38 +58,58 @@ type Options struct {
 // column where every non-null value parses as an integer is TypeInt64, else
 // if every value parses as a float it is TypeFloat64, else TypeString.
 func Load(name string, r io.Reader, opts Options) (*storage.Table, error) {
+	if err := faultinject.Check(PointLoad); err != nil {
+		return nil, fmt.Errorf("csvload: %s: %w", orInput(opts.Filename), err)
+	}
 	cr := csv.NewReader(r)
 	if opts.Comma != 0 {
 		cr.Comma = opts.Comma
 	}
 	cr.TrimLeadingSpace = true
+	// Arity is checked below with our own positioned error, not the csv
+	// package's.
+	cr.FieldsPerRecord = -1
 
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("csvload: %w", err)
+	var records []record
+	for {
+		fields, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				return nil, fmt.Errorf("csvload: %s: %w", opts.where(pe.Line), pe.Err)
+			}
+			return nil, fmt.Errorf("csvload: %s: %w", orInput(opts.Filename), err)
+		}
+		line, _ := cr.FieldPos(0)
+		records = append(records, record{fields: fields, line: line})
 	}
+
 	var names []string
 	if opts.Header {
 		if len(records) == 0 {
-			return nil, fmt.Errorf("csvload: empty input, expected a header")
+			return nil, fmt.Errorf("csvload: %s: empty input, expected a header", orInput(opts.Filename))
 		}
-		names = records[0]
+		names = records[0].fields
 		records = records[1:]
 	}
 	if len(records) == 0 && len(names) == 0 {
-		return nil, fmt.Errorf("csvload: empty input")
+		return nil, fmt.Errorf("csvload: %s: empty input", orInput(opts.Filename))
 	}
 	width := len(names)
 	if width == 0 {
-		width = len(records[0])
+		width = len(records[0].fields)
 		names = make([]string, width)
 		for i := range names {
 			names[i] = fmt.Sprintf("c%d", i)
 		}
 	}
-	for i, rec := range records {
-		if len(rec) != width {
-			return nil, fmt.Errorf("csvload: record %d has %d fields, want %d", i+1, len(rec), width)
+	for _, rec := range records {
+		if len(rec.fields) != width {
+			return nil, fmt.Errorf("csvload: %s: record has %d fields, want %d",
+				opts.where(rec.line), len(rec.fields), width)
 		}
 	}
 
@@ -80,30 +128,39 @@ func Load(name string, r io.Reader, opts Options) (*storage.Table, error) {
 	}
 	schema, err := storage.NewSchema(defs...)
 	if err != nil {
-		return nil, fmt.Errorf("csvload: %w", err)
+		return nil, fmt.Errorf("csvload: %s: %w", orInput(opts.Filename), err)
 	}
 	tbl := storage.NewTable(name, schema)
 	row := make([]storage.Value, width)
-	for ri, rec := range records {
-		for c, field := range rec {
+	for _, rec := range records {
+		for c, field := range rec.fields {
 			v, err := parseValue(field, types[c], isNull)
 			if err != nil {
-				return nil, fmt.Errorf("csvload: record %d column %s: %w", ri+1, names[c], err)
+				return nil, fmt.Errorf("csvload: %s: column %s: %w",
+					opts.where(rec.line), names[c], err)
 			}
 			row[c] = v
 		}
 		if err := tbl.AppendRow(row...); err != nil {
-			return nil, fmt.Errorf("csvload: record %d: %w", ri+1, err)
+			return nil, fmt.Errorf("csvload: %s: %w", opts.where(rec.line), err)
 		}
 	}
 	return tbl, nil
 }
 
-func inferColumnType(records [][]string, col int, isNull func(string) bool) storage.Type {
+// orInput substitutes a generic source name when no filename is known.
+func orInput(filename string) string {
+	if filename == "" {
+		return "input"
+	}
+	return filename
+}
+
+func inferColumnType(records []record, col int, isNull func(string) bool) storage.Type {
 	sawValue := false
 	allInt, allFloat := true, true
 	for _, rec := range records {
-		s := strings.TrimSpace(rec[col])
+		s := strings.TrimSpace(rec.fields[col])
 		if s == "" || isNull(s) {
 			continue
 		}

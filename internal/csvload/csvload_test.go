@@ -1,9 +1,11 @@
 package csvload
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"repro/internal/faultinject"
 	"repro/internal/storage"
 )
 
@@ -121,6 +123,92 @@ func TestLoadHeaderOnly(t *testing.T) {
 	// All-null/empty columns default to string.
 	if tbl.Schema().Column(0).Type != storage.TypeString {
 		t.Errorf("empty column type = %s, want VARCHAR", tbl.Schema().Column(0).Type)
+	}
+}
+
+// Errors must carry the source file name and the 1-based line of the bad
+// record, so a broken row in a large dataset is findable.
+func TestErrorDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		opts Options
+		want string
+	}{
+		{
+			name: "ragged record",
+			in:   "a,b,c\n1,2,3\n4,5\n6,7,8\n",
+			opts: Options{Header: true, Filename: "data.csv"},
+			want: "data.csv:3: record has 2 fields, want 3",
+		},
+		{
+			name: "ragged without filename",
+			in:   "a,b\n1\n",
+			opts: Options{Header: true},
+			want: "line 2: record has 1 fields, want 2",
+		},
+		{
+			name: "truncated quote",
+			in:   "a,b\n1,\"unterminated\n",
+			opts: Options{Header: true, Filename: "trunc.csv"},
+			want: "trunc.csv:2:",
+		},
+		{
+			name: "bare quote mid-field",
+			in:   "a,b\n1,x\"y\n2,z\n",
+			opts: Options{Header: true, Filename: "quote.csv"},
+			want: "quote.csv:2:",
+		},
+		{
+			name: "empty file names source",
+			in:   "",
+			opts: Options{Filename: "empty.csv"},
+			want: "empty.csv: empty input",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load("t", strings.NewReader(tc.in), tc.opts)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// A multi-line quoted field shifts physical lines past record numbers; the
+// reported position must be the physical input line, not the record index.
+func TestErrorLineAccountsForMultilineFields(t *testing.T) {
+	in := "a,b\n1,\"two\nphysical\nlines\"\n2,3,4\n"
+	_, err := Load("t", strings.NewReader(in), Options{Header: true, Filename: "ml.csv"})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	// The ragged record is record 3 but starts on physical line 5.
+	if !strings.Contains(err.Error(), "ml.csv:5:") {
+		t.Errorf("error %q should point at physical line 5", err)
+	}
+}
+
+// An injected I/O fault at the load probe surfaces as an error naming the
+// source, proving data-file failures cannot crash or wedge a load.
+func TestLoadFaultInjection(t *testing.T) {
+	defer faultinject.Reset()
+	boom := errors.New("simulated I/O error")
+	faultinject.Enable(PointLoad, faultinject.Fault{Err: boom, Times: 1})
+	_, err := Load("t", strings.NewReader("a\n1\n"), Options{Header: true, Filename: "io.csv"})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "io.csv") {
+		t.Errorf("error %q should name the file", err)
+	}
+	// Disarmed: the same load now succeeds.
+	if _, err := Load("t", strings.NewReader("a\n1\n"), Options{Header: true}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -19,8 +19,18 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/expr"
+	"repro/internal/faultinject"
+	"repro/internal/governor"
 	"repro/internal/optimizer"
 	"repro/internal/storage"
+)
+
+// Fault-injection probe points of the executor.
+const (
+	// PointScan fires when a base-table scan starts.
+	PointScan = "executor.scan"
+	// PointJoin fires when a join operator starts.
+	PointJoin = "executor.join"
 )
 
 // Stats accumulates execution work counters.
@@ -73,11 +83,35 @@ type Result struct {
 // Executor runs plans against the data tables of one catalog.
 type Executor struct {
 	cat *catalog.Catalog
+	gov *governor.Governor
 }
 
 // New creates an executor over the catalog's registered data tables.
 func New(cat *catalog.Catalog) *Executor {
 	return &Executor{cat: cat}
+}
+
+// NewGoverned is New with a resource governor: operator inner loops charge
+// the tuple budget per tuple visited and the row budget per row
+// materialized, and poll cancellation periodically. gov may be nil.
+func NewGoverned(cat *catalog.Catalog, gov *governor.Governor) *Executor {
+	return &Executor{cat: cat, gov: gov}
+}
+
+// visit charges one visited tuple to both the work counters and the
+// governor's tuple budget.
+func (e *Executor) visit(stats *Stats) error {
+	stats.TuplesScanned++
+	return e.gov.TickTuples(1)
+}
+
+// emit appends a row to an operator output, charging the materialized-row
+// budget.
+func (e *Executor) emit(out *storage.Table, row []storage.Value) error {
+	if err := e.gov.TickRows(1); err != nil {
+		return err
+	}
+	return out.AppendRow(row...)
 }
 
 // Execute runs the plan and returns the materialized result, including
@@ -157,6 +191,9 @@ func qualifiedSchema(alias string, in *storage.Schema) (*storage.Schema, error) 
 }
 
 func (e *Executor) runScan(s *optimizer.Scan, stats *Stats) (*storage.Table, error) {
+	if err := faultinject.Check(PointScan); err != nil {
+		return nil, err
+	}
 	base := e.cat.Data(s.Table)
 	if base == nil {
 		return nil, fmt.Errorf("executor: no data registered for table %q", s.Table)
@@ -176,7 +213,9 @@ func (e *Executor) runScan(s *optimizer.Scan, stats *Stats) (*storage.Table, err
 	}
 	buf := make([]storage.Value, 0, schema.NumColumns())
 	for r := 0; r < base.NumRows(); r++ {
-		stats.TuplesScanned++
+		if err := e.visit(stats); err != nil {
+			return nil, err
+		}
 		buf = base.AppendRowTo(buf[:0], r)
 		ok, err := filter.eval(buf, stats)
 		if err != nil {
@@ -185,7 +224,7 @@ func (e *Executor) runScan(s *optimizer.Scan, stats *Stats) (*storage.Table, err
 		if !ok || !evalDisjunctions(orFilter, buf, stats) {
 			continue
 		}
-		if err := out.AppendRow(buf...); err != nil {
+		if err := e.emit(out, buf); err != nil {
 			return nil, err
 		}
 	}
@@ -193,6 +232,9 @@ func (e *Executor) runScan(s *optimizer.Scan, stats *Stats) (*storage.Table, err
 }
 
 func (e *Executor) runJoin(j *optimizer.Join, stats *Stats, rec *recorder, depth int) (*storage.Table, error) {
+	if err := faultinject.Check(PointJoin); err != nil {
+		return nil, err
+	}
 	left, err := e.run(j.Left, stats, rec, depth+1)
 	if err != nil {
 		return nil, err
@@ -288,7 +330,9 @@ func (e *Executor) indexNL(j *optimizer.Join, left *storage.Table, stats *Stats,
 		probe := left.Value(lr, outerKey)
 		stats.Comparisons++ // the index search
 		for _, rr := range ix.Lookup(probe) {
-			stats.TuplesScanned++
+			if err := e.visit(stats); err != nil {
+				return nil, err
+			}
 			inner = base.AppendRowTo(inner[:0], rr)
 			ok, err := innerFilter.eval(inner, stats)
 			if err != nil {
@@ -304,7 +348,7 @@ func (e *Executor) indexNL(j *optimizer.Join, left *storage.Table, stats *Stats,
 				return nil, err
 			}
 			if ok {
-				if err := out.AppendRow(row...); err != nil {
+				if err := e.emit(out, row); err != nil {
 					return nil, err
 				}
 			}
@@ -378,7 +422,9 @@ func (e *Executor) nestedLoop(j *optimizer.Join, left *storage.Table, stats *Sta
 	inner := make([]storage.Value, 0, innerSchema.NumColumns())
 	for lr := 0; lr < left.NumRows(); lr++ {
 		for rr := 0; rr < innerBase.NumRows(); rr++ {
-			stats.TuplesScanned++
+			if err := e.visit(stats); err != nil {
+				return nil, err
+			}
 			inner = innerBase.AppendRowTo(inner[:0], rr)
 			if rescanBase {
 				ok, err := innerFilter.eval(inner, stats)
@@ -396,7 +442,7 @@ func (e *Executor) nestedLoop(j *optimizer.Join, left *storage.Table, stats *Sta
 				return nil, err
 			}
 			if ok {
-				if err := out.AppendRow(row...); err != nil {
+				if err := e.emit(out, row); err != nil {
 					return nil, err
 				}
 			}
@@ -462,7 +508,9 @@ func (e *Executor) sortMerge(j *optimizer.Join, left, right *storage.Table, stat
 			}
 			for a := li; a < lEnd; a++ {
 				for b := ri; b < rEnd; b++ {
-					stats.TuplesScanned++
+					if err := e.visit(stats); err != nil {
+						return nil, err
+					}
 					row = left.AppendRowTo(row[:0], lIdx[a])
 					row = right.AppendRowTo(row, rIdx[b])
 					ok, err := residual.eval(row, stats)
@@ -470,7 +518,7 @@ func (e *Executor) sortMerge(j *optimizer.Join, left, right *storage.Table, stat
 						return nil, err
 					}
 					if ok {
-						if err := out.AppendRow(row...); err != nil {
+						if err := e.emit(out, row); err != nil {
 							return nil, err
 						}
 					}
@@ -480,7 +528,11 @@ func (e *Executor) sortMerge(j *optimizer.Join, left, right *storage.Table, stat
 		}
 	}
 	// Scanning both inputs counts as work even where keys never matched.
-	stats.TuplesScanned += int64(left.NumRows()) + int64(right.NumRows())
+	n := int64(left.NumRows()) + int64(right.NumRows())
+	stats.TuplesScanned += n
+	if err := e.gov.TickTuples(n); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -505,7 +557,9 @@ func (e *Executor) hashJoin(j *optimizer.Join, left, right *storage.Table, stats
 	}
 	build := make(map[string][]int, right.NumRows())
 	for r := 0; r < right.NumRows(); r++ {
-		stats.TuplesScanned++
+		if err := e.visit(stats); err != nil {
+			return nil, err
+		}
 		v := right.Value(r, rKey)
 		if v.IsNull() {
 			continue
@@ -516,7 +570,9 @@ func (e *Executor) hashJoin(j *optimizer.Join, left, right *storage.Table, stats
 	out := storage.NewTable("join", outSchema)
 	row := make([]storage.Value, 0, outSchema.NumColumns())
 	for l := 0; l < left.NumRows(); l++ {
-		stats.TuplesScanned++
+		if err := e.visit(stats); err != nil {
+			return nil, err
+		}
 		v := left.Value(l, lKey)
 		if v.IsNull() {
 			continue
@@ -529,7 +585,7 @@ func (e *Executor) hashJoin(j *optimizer.Join, left, right *storage.Table, stats
 				return nil, err
 			}
 			if ok {
-				if err := out.AppendRow(row...); err != nil {
+				if err := e.emit(out, row); err != nil {
 					return nil, err
 				}
 			}

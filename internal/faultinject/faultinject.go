@@ -1,0 +1,118 @@
+// Package faultinject provides named probe points the pipeline consults at
+// well-defined seams (catalog analysis, CSV loading, estimator
+// construction, executor operators). Tests arm a probe with a Fault — an
+// error to return, a value to panic with, or an arbitrary payload the probe
+// site interprets (e.g. a statistics corruptor) — and the production code
+// path exercises its degradation or recovery logic for real.
+//
+// The disarmed fast path is one atomic load, so probes may sit inside
+// per-operator (though not per-tuple) code.
+//
+// Probe points are identified by string constants declared next to their
+// probe sites; the canonical list lives in README.md ("Robustness &
+// resource limits").
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Fault describes what an armed probe does when hit.
+type Fault struct {
+	// Err, if non-nil, is returned by Check at the probe site.
+	Err error
+	// PanicValue, if non-nil, makes Check panic with it (exercises the
+	// public API's panic recovery).
+	PanicValue any
+	// Payload carries site-specific data; probe sites type-assert it (e.g.
+	// cardest asserts a func(*catalog.TableStats) statistics corruptor).
+	Payload any
+	// Times bounds how often the fault fires before disarming itself;
+	// 0 means every hit until Disable/Reset.
+	Times int
+}
+
+type state struct {
+	fault Fault
+	hits  int64
+}
+
+var (
+	armed  atomic.Int32 // number of armed points; fast-path gate
+	mu     sync.Mutex
+	points = map[string]*state{}
+)
+
+// Enable arms a probe point. It replaces any previous fault at that point.
+func Enable(point string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[point]; !ok {
+		armed.Add(1)
+	}
+	points[point] = &state{fault: f}
+}
+
+// Disable disarms one probe point.
+func Disable(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[point]; ok {
+		delete(points, point)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every probe point.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*state{}
+	armed.Store(0)
+}
+
+// Hits reports how many times the named point has fired since it was
+// armed (0 if not armed).
+func Hits(point string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if s, ok := points[point]; ok {
+		return s.hits
+	}
+	return 0
+}
+
+// Fire consumes one firing of the point's fault, if armed. The bool
+// reports whether a fault fired. Self-disarms after Fault.Times firings.
+func Fire(point string) (Fault, bool) {
+	if armed.Load() == 0 {
+		return Fault{}, false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	s, ok := points[point]
+	if !ok {
+		return Fault{}, false
+	}
+	s.hits++
+	if s.fault.Times > 0 && s.hits >= int64(s.fault.Times) {
+		delete(points, point)
+		armed.Add(-1)
+	}
+	return s.fault, true
+}
+
+// Check is the common probe-site form: it fires the point and converts the
+// fault into control flow — panicking when PanicValue is set, otherwise
+// returning Err (which may be nil for payload-only faults).
+func Check(point string) error {
+	f, ok := Fire(point)
+	if !ok {
+		return nil
+	}
+	if f.PanicValue != nil {
+		panic(f.PanicValue)
+	}
+	return f.Err
+}

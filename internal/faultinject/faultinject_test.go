@@ -1,0 +1,85 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedCheckIsNil(t *testing.T) {
+	Reset()
+	if err := Check("nope"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnableCheckDisable(t *testing.T) {
+	Reset()
+	boom := errors.New("boom")
+	Enable("p", Fault{Err: boom})
+	if err := Check("p"); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if got := Hits("p"); got != 1 {
+		t.Fatalf("hits = %d", got)
+	}
+	// Other points stay disarmed.
+	if err := Check("q"); err != nil {
+		t.Fatal(err)
+	}
+	Disable("p")
+	if err := Check("p"); err != nil {
+		t.Fatal("disabled point must not fire")
+	}
+}
+
+func TestTimesSelfDisarms(t *testing.T) {
+	Reset()
+	boom := errors.New("boom")
+	Enable("p", Fault{Err: boom, Times: 2})
+	if err := Check("p"); err == nil {
+		t.Fatal("first hit must fire")
+	}
+	if err := Check("p"); err == nil {
+		t.Fatal("second hit must fire")
+	}
+	if err := Check("p"); err != nil {
+		t.Fatal("third hit must be disarmed")
+	}
+}
+
+func TestPanicValue(t *testing.T) {
+	Reset()
+	Enable("p", Fault{PanicValue: "kaboom"})
+	defer Reset()
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	Check("p")
+	t.Fatal("Check must panic")
+}
+
+func TestPayload(t *testing.T) {
+	Reset()
+	Enable("p", Fault{Payload: 42})
+	f, ok := Fire("p")
+	if !ok || f.Payload != 42 {
+		t.Fatalf("payload fault = %#v ok=%v", f, ok)
+	}
+	// Payload-only faults return nil from Check.
+	Enable("p", Fault{Payload: 42})
+	if err := Check("p"); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+}
+
+func TestResetClearsAll(t *testing.T) {
+	Enable("a", Fault{Err: errors.New("x")})
+	Enable("b", Fault{Err: errors.New("y")})
+	Reset()
+	if Check("a") != nil || Check("b") != nil {
+		t.Fatal("reset must disarm everything")
+	}
+}

@@ -1,0 +1,226 @@
+// Package governor enforces per-query resource budgets across the
+// estimation/planning/execution pipeline and defines the typed error
+// taxonomy the public API reports failures through.
+//
+// A Governor is created per query from a context.Context plus a Limits
+// configuration. The optimizer ticks it once per enumerated join candidate
+// set; the executor ticks it once per tuple visited and per materialized
+// output row. Ticks are cheap (an integer compare); the context is polled
+// only every checkInterval ticks so that governance stays off the critical
+// path of tight scan loops.
+//
+// A nil *Governor is valid and enforces nothing, so deep pipeline code can
+// thread a governor unconditionally without nil checks at every site.
+package governor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors of the pipeline's failure taxonomy. All errors returned
+// by the governed pipeline match exactly one of these under errors.Is.
+var (
+	// ErrCanceled reports that the query's context was canceled.
+	ErrCanceled = errors.New("els: query canceled")
+	// ErrBudgetExceeded reports that a resource limit (wall-clock, tuples
+	// scanned, rows materialized, plans enumerated) was exhausted.
+	ErrBudgetExceeded = errors.New("els: resource budget exceeded")
+	// ErrBadStats reports catalog statistics too broken to estimate from
+	// (the estimator degrades to defaults where it can; this error is for
+	// inputs rejected outright, e.g. a negative declared cardinality).
+	ErrBadStats = errors.New("els: invalid catalog statistics")
+	// ErrParse reports a malformed query or unresolvable reference.
+	ErrParse = errors.New("els: parse error")
+	// ErrInternal reports a panic recovered at the public API boundary.
+	ErrInternal = errors.New("els: internal error")
+)
+
+// BudgetError is the concrete error for an exhausted budget. It matches
+// ErrBudgetExceeded under errors.Is and names the resource that ran out.
+type BudgetError struct {
+	// Resource is one of "wall-clock", "tuples", "rows", "plans".
+	Resource string
+	// Limit is the configured budget; Used is consumption at detection
+	// (for wall-clock both are in nanoseconds).
+	Limit, Used int64
+}
+
+func (e *BudgetError) Error() string {
+	if e.Resource == "wall-clock" {
+		return fmt.Sprintf("els: resource budget exceeded: wall-clock limit %s reached",
+			time.Duration(e.Limit))
+	}
+	return fmt.Sprintf("els: resource budget exceeded: %s limit %d reached (used %d)",
+		e.Resource, e.Limit, e.Used)
+}
+
+// Unwrap makes errors.Is(err, ErrBudgetExceeded) hold.
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// InternalError is the concrete error for a recovered panic. It matches
+// ErrInternal under errors.Is and carries the panic value and stack.
+type InternalError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery time.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("els: internal error: panic: %v", e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrInternal) hold.
+func (e *InternalError) Unwrap() error { return ErrInternal }
+
+// NewInternal wraps a recovered panic value and its stack.
+func NewInternal(value any, stack []byte) *InternalError {
+	return &InternalError{Value: value, Stack: stack}
+}
+
+// Limits configures per-query resource budgets. The zero value enforces
+// nothing.
+type Limits struct {
+	// Timeout is the wall-clock budget for one call; 0 disables. The
+	// deadline starts when the Governor is created and is enforced even if
+	// the caller's context carries no deadline of its own.
+	Timeout time.Duration
+	// MaxTuples bounds base-table and materialized-input tuples visited
+	// during execution; 0 disables.
+	MaxTuples int64
+	// MaxRows bounds rows materialized into operator outputs; 0 disables.
+	MaxRows int64
+	// MaxPlans bounds join-candidate sets enumerated during planning; 0
+	// disables.
+	MaxPlans int64
+}
+
+// Enforced reports whether any limit is set.
+func (l Limits) Enforced() bool {
+	return l.Timeout > 0 || l.MaxTuples > 0 || l.MaxRows > 0 || l.MaxPlans > 0
+}
+
+// checkInterval is how many ticks pass between context/deadline polls.
+const checkInterval = 1024
+
+// Governor tracks one query's resource consumption against its limits.
+// It is used from a single goroutine (one query = one execution thread);
+// concurrent queries each get their own Governor.
+type Governor struct {
+	ctx        context.Context
+	limits     Limits
+	deadline   time.Time
+	start      time.Time
+	tuples     int64
+	rows       int64
+	plans      int64
+	sinceCheck int
+}
+
+// New creates a governor for one query. ctx may be nil (treated as
+// context.Background()).
+func New(ctx context.Context, limits Limits) *Governor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g := &Governor{ctx: ctx, limits: limits, start: time.Now()}
+	if limits.Timeout > 0 {
+		g.deadline = g.start.Add(limits.Timeout)
+	}
+	return g
+}
+
+// Context returns the context the governor polls (Background for a nil
+// governor).
+func (g *Governor) Context() context.Context {
+	if g == nil || g.ctx == nil {
+		return context.Background()
+	}
+	return g.ctx
+}
+
+// Err polls cancellation and the wall-clock budget immediately, mapping
+// context errors into the taxonomy: Canceled → ErrCanceled, deadline (from
+// the context or from Limits.Timeout) → ErrBudgetExceeded("wall-clock").
+func (g *Governor) Err() error {
+	if g == nil {
+		return nil
+	}
+	if err := g.ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return g.wallClockError()
+		}
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	if !g.deadline.IsZero() && time.Now().After(g.deadline) {
+		return g.wallClockError()
+	}
+	return nil
+}
+
+func (g *Governor) wallClockError() error {
+	limit := int64(g.limits.Timeout)
+	if limit == 0 {
+		if d, ok := g.ctx.Deadline(); ok {
+			limit = int64(d.Sub(g.start))
+		}
+	}
+	return &BudgetError{Resource: "wall-clock", Limit: limit, Used: int64(time.Since(g.start))}
+}
+
+// poll amortizes Err over checkInterval ticks.
+func (g *Governor) poll() error {
+	g.sinceCheck++
+	if g.sinceCheck < checkInterval {
+		return nil
+	}
+	g.sinceCheck = 0
+	return g.Err()
+}
+
+// TickTuples charges n visited tuples against the tuple budget.
+func (g *Governor) TickTuples(n int64) error {
+	if g == nil {
+		return nil
+	}
+	g.tuples += n
+	if g.limits.MaxTuples > 0 && g.tuples > g.limits.MaxTuples {
+		return &BudgetError{Resource: "tuples", Limit: g.limits.MaxTuples, Used: g.tuples}
+	}
+	return g.poll()
+}
+
+// TickRows charges n materialized output rows against the row budget.
+func (g *Governor) TickRows(n int64) error {
+	if g == nil {
+		return nil
+	}
+	g.rows += n
+	if g.limits.MaxRows > 0 && g.rows > g.limits.MaxRows {
+		return &BudgetError{Resource: "rows", Limit: g.limits.MaxRows, Used: g.rows}
+	}
+	return g.poll()
+}
+
+// TickPlans charges n enumerated plan candidates against the plan budget.
+func (g *Governor) TickPlans(n int64) error {
+	if g == nil {
+		return nil
+	}
+	g.plans += n
+	if g.limits.MaxPlans > 0 && g.plans > g.limits.MaxPlans {
+		return &BudgetError{Resource: "plans", Limit: g.limits.MaxPlans, Used: g.plans}
+	}
+	return g.poll()
+}
+
+// Usage reports the resources consumed so far.
+func (g *Governor) Usage() (tuples, rows, plans int64) {
+	if g == nil {
+		return 0, 0, 0
+	}
+	return g.tuples, g.rows, g.plans
+}

@@ -1,10 +1,21 @@
 package optimizer
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/governor"
 )
+
+// governed reports whether err is a governance failure (cancellation or an
+// exhausted budget) that must abort a search loop rather than be treated
+// as an unplannable candidate order.
+func governed(err error) bool {
+	return err != nil &&
+		(errors.Is(err, governor.ErrCanceled) || errors.Is(err, governor.ErrBudgetExceeded))
+}
 
 // GreedyPlan builds a join order greedily: it starts from the table with
 // the smallest effective cardinality and repeatedly appends the table that
@@ -90,8 +101,14 @@ func (o *Optimizer) IterativeImprovementPlan(seed int64, restarts int) (Plan, er
 		for improved {
 			improved = false
 			for i := 0; i+1 < n; i++ {
+				if err := o.gov.Err(); err != nil {
+					return nil, err
+				}
 				order[i], order[i+1] = order[i+1], order[i]
 				cand, err := o.PlanForOrder(order)
+				if governed(err) {
+					return nil, err
+				}
 				if err == nil && cand.Cost() < plan.Cost() {
 					plan = cand
 					improved = true
@@ -120,10 +137,21 @@ func (o *Optimizer) ExhaustivePlan() (Plan, error) {
 	}
 	order := make([]string, n)
 	var best Plan
+	var govErr error
 	var permute func(remaining []string)
 	permute = func(remaining []string) {
+		if govErr != nil {
+			return
+		}
 		if len(remaining) == 0 {
+			if govErr = o.gov.Err(); govErr != nil {
+				return
+			}
 			plan, err := o.PlanForOrder(order[:n-len(remaining)])
+			if governed(err) {
+				govErr = err
+				return
+			}
 			if err == nil && (best == nil || plan.Cost() < best.Cost()) {
 				best = plan
 			}
@@ -139,6 +167,9 @@ func (o *Optimizer) ExhaustivePlan() (Plan, error) {
 		}
 	}
 	permute(append([]string{}, o.aliases...))
+	if govErr != nil {
+		return nil, govErr
+	}
 	if best == nil {
 		return nil, fmt.Errorf("optimizer: no plan found")
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/closure"
 	"repro/internal/cost"
 	"repro/internal/expr"
+	"repro/internal/governor"
 )
 
 // Options configures the optimizer.
@@ -21,6 +22,9 @@ type Options struct {
 	// DisableCartesian forbids cartesian products even when no connected
 	// extension exists (the query would then fail to plan).
 	DisableCartesian bool
+	// Governor, when non-nil, bounds plan enumeration: every candidate set
+	// built charges the plan budget, and search loops poll cancellation.
+	Governor *governor.Governor
 }
 
 // PaperOptions returns the configuration of the Section 8 experiment:
@@ -37,6 +41,7 @@ type Optimizer struct {
 	model   *cost.Model
 	methods []JoinMethod
 	opts    Options
+	gov     *governor.Governor
 	aliases []string
 }
 
@@ -53,7 +58,7 @@ func New(est *cardest.Estimator, opts Options) (*Optimizer, error) {
 	if model == nil {
 		model = cost.DefaultModel()
 	}
-	o := &Optimizer{est: est, model: model, methods: methods, opts: opts}
+	o := &Optimizer{est: est, model: model, methods: methods, opts: opts, gov: opts.Governor}
 	for _, tr := range est.Tables() {
 		o.aliases = append(o.aliases, tr.Name())
 	}
@@ -100,8 +105,12 @@ func baseTableName(est *cardest.Estimator, alias string) string {
 }
 
 // joinCandidates builds one Join node per applicable method for extending
-// plan left with table next, and returns them (cheapest first).
+// plan left with table next, and returns them (cheapest first). Each call
+// charges one unit of the plan-enumeration budget.
 func (o *Optimizer) joinCandidates(left Plan, next *Scan) ([]*Join, error) {
+	if err := o.gov.TickPlans(1); err != nil {
+		return nil, err
+	}
 	step, err := o.est.JoinStep(left.EstRows(), left.Tables(), next.Alias)
 	if err != nil {
 		return nil, err
@@ -231,6 +240,9 @@ func (o *Optimizer) BestPlan() (Plan, error) {
 	}
 	for size := 1; size < n; size++ {
 		for _, mask := range byCount[size] {
+			if err := o.gov.Err(); err != nil {
+				return nil, err
+			}
 			left, ok := best[mask]
 			if !ok {
 				continue

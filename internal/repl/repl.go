@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	els "repro"
 )
@@ -53,6 +54,8 @@ func (p *Processor) Execute(line string) (quit bool, err error) {
 			fmt.Fprintln(p.out, a)
 		}
 		return false, nil
+	case "limits":
+		return false, p.limits(fields[1:])
 	case "declare":
 		return false, p.declare(fields[1:])
 	case "load":
@@ -93,6 +96,8 @@ func (p *Processor) help() error {
   stats <name>                              show a table's statistics
   algo <name>                               set the estimation algorithm
   algos                                     list algorithms
+  limits [timeout=D] [tuples=N] [rows=N] [plans=N]
+                                            set per-query budgets ("limits off" clears)
   estimate <sql>                            estimate without executing
   explain <sql>                             show closure + plan + estimates
   analyze <sql>                             execute and show est-vs-actual per node
@@ -116,6 +121,64 @@ func (p *Processor) setAlgo(args []string) error {
 		}
 	}
 	p.printf("unknown algorithm %q; use one of %v\n", args[0], els.Algorithms())
+	return nil
+}
+
+// limits shows or updates the system's per-query resource budgets. With no
+// arguments it prints the current limits; "limits off" clears them.
+func (p *Processor) limits(args []string) error {
+	if len(args) == 0 {
+		l := p.sys.Limits()
+		if !l.Enforced() {
+			p.printf("no limits\n")
+			return nil
+		}
+		p.printf("timeout=%s tuples=%d rows=%d plans=%d\n",
+			l.Timeout, l.MaxTuples, l.MaxRows, l.MaxPlans)
+		return nil
+	}
+	if len(args) == 1 && strings.EqualFold(args[0], "off") {
+		p.sys.SetLimits(els.Limits{})
+		p.printf("limits cleared\n")
+		return nil
+	}
+	l := p.sys.Limits()
+	for _, kv := range args {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			p.printf("usage: limits [timeout=D] [tuples=N] [rows=N] [plans=N] | limits off\n")
+			return nil
+		}
+		switch strings.ToLower(parts[0]) {
+		case "timeout":
+			d, err := time.ParseDuration(parts[1])
+			if err != nil {
+				p.printf("bad timeout %q: %v\n", parts[1], err)
+				return nil
+			}
+			l.Timeout = d
+		case "tuples", "rows", "plans":
+			n, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				p.printf("bad %s limit %q\n", parts[0], parts[1])
+				return nil
+			}
+			switch strings.ToLower(parts[0]) {
+			case "tuples":
+				l.MaxTuples = n
+			case "rows":
+				l.MaxRows = n
+			case "plans":
+				l.MaxPlans = n
+			}
+		default:
+			p.printf("unknown limit %q (want timeout, tuples, rows, plans)\n", parts[0])
+			return nil
+		}
+	}
+	p.sys.SetLimits(l)
+	p.printf("limits set: timeout=%s tuples=%d rows=%d plans=%d\n",
+		l.Timeout, l.MaxTuples, l.MaxRows, l.MaxPlans)
 	return nil
 }
 

@@ -1,12 +1,14 @@
 package els
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"repro/internal/cardest"
 	"repro/internal/executor"
+	"repro/internal/governor"
 	"repro/internal/optimizer"
 	"repro/internal/selest"
 	"repro/internal/sqlparse"
@@ -49,6 +51,10 @@ type Estimate struct {
 	// (the product of the grouping columns' effective cardinalities, capped
 	// by the join size estimate); 0 for ungrouped queries.
 	GroupEstimate float64
+	// Warnings lists statistics repairs the estimator applied when catalog
+	// statistics were corrupt (NaN, negative, zero cardinalities degraded
+	// to paper defaults). Empty for healthy catalogs.
+	Warnings []string
 }
 
 // NodeStat compares one plan node's estimated and actual output
@@ -104,24 +110,36 @@ const MaxRows = 1000
 
 // optimizerOptions returns the paper repertoire (nested loops +
 // sort-merge), extended with index nested-loops when the user has built
-// any index.
-func (s *System) optimizerOptions() optimizer.Options {
+// any index, governed by the query's resource governor.
+func (s *System) optimizerOptions(gov *governor.Governor) optimizer.Options {
 	opts := optimizer.PaperOptions()
 	if s.hasAnyIndex() {
 		opts.Methods = append(opts.Methods, optimizer.IndexNL)
 	}
+	opts.Governor = gov
 	return opts
 }
 
-// prepare parses, binds, estimates and plans a query under an algorithm.
-func (s *System) prepare(sql string, algo Algorithm) (*sqlparse.Query, optimizer.Plan, *optimizer.Optimizer, error) {
+// newGovernor builds the per-call governor from the caller's context and
+// the system's default limits, and rejects already-dead contexts up front.
+func (s *System) newGovernor(ctx context.Context) (*governor.Governor, error) {
+	gov := governor.New(ctx, s.Limits())
+	if err := gov.Err(); err != nil {
+		return nil, err
+	}
+	return gov, nil
+}
+
+// prepare parses, binds, estimates and plans a query under an algorithm,
+// charging plan enumeration to the governor (which may be nil).
+func (s *System) prepare(gov *governor.Governor, sql string, algo Algorithm) (*sqlparse.Query, optimizer.Plan, *optimizer.Optimizer, error) {
 	cfg, err := algo.config()
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	q, err := sqlparse.ParseAndBind(sql, s.cat)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, wrapParse(err)
 	}
 	tabs := make([]cardest.TableRef, len(q.Tables))
 	for i, item := range q.Tables {
@@ -131,7 +149,7 @@ func (s *System) prepare(sql string, algo Algorithm) (*sqlparse.Query, optimizer
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	opt, err := optimizer.New(est, s.optimizerOptions())
+	opt, err := optimizer.New(est, s.optimizerOptions(gov))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -174,6 +192,7 @@ func buildEstimate(algo Algorithm, plan optimizer.Plan, opt *optimizer.Optimizer
 	for _, p := range opt.Estimator().Implied() {
 		e.ImpliedPredicates = append(e.ImpliedPredicates, p.String())
 	}
+	e.Warnings = opt.Estimator().Warnings()
 	return e
 }
 
@@ -204,11 +223,24 @@ func estimateGroups(q *sqlparse.Query, plan optimizer.Plan, opt *optimizer.Optim
 // the query, and returns the estimates without executing anything. It works
 // on both declared-statistics and loaded tables.
 func (s *System) Estimate(sql string, algo Algorithm) (*Estimate, error) {
-	q, plan, opt, err := s.prepare(sql, algo)
+	return s.EstimateContext(context.Background(), sql, algo)
+}
+
+// EstimateContext is Estimate governed by a context and the system's
+// Limits: cancellation, the wall-clock deadline, and the plan-enumeration
+// budget all abort planning with a typed error (ErrCanceled,
+// ErrBudgetExceeded). Panics in the pipeline surface as ErrInternal.
+func (s *System) EstimateContext(ctx context.Context, sql string, algo Algorithm) (est *Estimate, err error) {
+	defer recovered(&err)
+	gov, err := s.newGovernor(ctx)
 	if err != nil {
 		return nil, err
 	}
-	est := buildEstimate(algo, plan, opt)
+	q, plan, opt, err := s.prepare(gov, sql, algo)
+	if err != nil {
+		return nil, err
+	}
+	est = buildEstimate(algo, plan, opt)
 	est.GroupEstimate = estimateGroups(q, plan, opt)
 	return est, nil
 }
@@ -217,23 +249,34 @@ func (s *System) Estimate(sql string, algo Algorithm) (*Estimate, error) {
 // of the FROM clause in the desired sequence), as the paper's worked
 // examples do.
 func (s *System) EstimateOrder(sql string, algo Algorithm, order []string) (*Estimate, error) {
+	return s.EstimateOrderContext(context.Background(), sql, algo, order)
+}
+
+// EstimateOrderContext is EstimateOrder with governance (see
+// EstimateContext).
+func (s *System) EstimateOrderContext(ctx context.Context, sql string, algo Algorithm, order []string) (est *Estimate, err error) {
+	defer recovered(&err)
+	gov, err := s.newGovernor(ctx)
+	if err != nil {
+		return nil, err
+	}
 	cfg, err := algo.config()
 	if err != nil {
 		return nil, err
 	}
 	q, err := sqlparse.ParseAndBind(sql, s.cat)
 	if err != nil {
-		return nil, err
+		return nil, wrapParse(err)
 	}
 	tabs := make([]cardest.TableRef, len(q.Tables))
 	for i, item := range q.Tables {
 		tabs[i] = cardest.TableRef{Alias: item.Alias, Table: item.Table}
 	}
-	est, err := cardest.NewQuery(s.cat, tabs, q.Where, q.Disjunctions, cfg)
+	cest, err := cardest.NewQuery(s.cat, tabs, q.Where, q.Disjunctions, cfg)
 	if err != nil {
 		return nil, err
 	}
-	opt, err := optimizer.New(est, s.optimizerOptions())
+	opt, err := optimizer.New(cest, s.optimizerOptions(gov))
 	if err != nil {
 		return nil, err
 	}
@@ -247,11 +290,20 @@ func (s *System) EstimateOrder(sql string, algo Algorithm, order []string) (*Est
 // Explain returns a human-readable report: implied predicates, the chosen
 // plan, and the per-step estimates.
 func (s *System) Explain(sql string, algo Algorithm) (string, error) {
-	est, err := s.Estimate(sql, algo)
+	return s.ExplainContext(context.Background(), sql, algo)
+}
+
+// ExplainContext is Explain with governance (see EstimateContext).
+func (s *System) ExplainContext(ctx context.Context, sql string, algo Algorithm) (out string, err error) {
+	defer recovered(&err)
+	est, err := s.EstimateContext(ctx, sql, algo)
 	if err != nil {
 		return "", err
 	}
-	out := fmt.Sprintf("algorithm: %s\n", est.Algorithm)
+	out = fmt.Sprintf("algorithm: %s\n", est.Algorithm)
+	for _, w := range est.Warnings {
+		out += "warning: " + w + "\n"
+	}
 	if len(est.ImpliedPredicates) > 0 {
 		out += "implied by transitive closure:\n"
 		for _, p := range est.ImpliedPredicates {
@@ -266,7 +318,7 @@ func (s *System) Explain(sql string, algo Algorithm) (string, error) {
 // ExplainDot plans the query under the algorithm and returns the chosen
 // plan as a Graphviz DOT digraph.
 func (s *System) ExplainDot(sql string, algo Algorithm) (string, error) {
-	_, plan, _, err := s.prepare(sql, algo)
+	_, plan, _, err := s.prepare(nil, sql, algo)
 	if err != nil {
 		return "", err
 	}
@@ -276,11 +328,25 @@ func (s *System) ExplainDot(sql string, algo Algorithm) (string, error) {
 // Query plans and executes the SQL under the selected algorithm. Every
 // table referenced must have loaded data (LoadTable/GenerateTable).
 func (s *System) Query(sql string, algo Algorithm) (*Result, error) {
-	q, plan, opt, err := s.prepare(sql, algo)
+	return s.QueryContext(context.Background(), sql, algo)
+}
+
+// QueryContext is Query governed by a context and the system's Limits:
+// cancelling the context aborts planning and execution inner loops with
+// ErrCanceled; an exhausted budget (wall-clock, tuples scanned, rows
+// materialized, plans enumerated) aborts with ErrBudgetExceeded. Panics in
+// the pipeline surface as ErrInternal instead of crossing the API.
+func (s *System) QueryContext(ctx context.Context, sql string, algo Algorithm) (result *Result, err error) {
+	defer recovered(&err)
+	gov, err := s.newGovernor(ctx)
 	if err != nil {
 		return nil, err
 	}
-	exec := executor.New(s.cat)
+	q, plan, opt, err := s.prepare(gov, sql, algo)
+	if err != nil {
+		return nil, err
+	}
+	exec := executor.NewGoverned(s.cat, gov)
 	res, err := exec.Execute(plan)
 	if err != nil {
 		return nil, err
@@ -339,12 +405,19 @@ func (s *System) Query(sql string, algo Algorithm) (*Result, error) {
 // in algos (all algorithms if empty), returning results in order. All
 // executions must produce the same count; an inconsistency is an error.
 func (s *System) CompareAlgorithms(sql string, algos ...Algorithm) ([]*Result, error) {
+	return s.CompareAlgorithmsContext(context.Background(), sql, algos...)
+}
+
+// CompareAlgorithmsContext is CompareAlgorithms with governance; each
+// algorithm's run receives a fresh budget from the system's Limits, while
+// cancellation applies to the whole comparison.
+func (s *System) CompareAlgorithmsContext(ctx context.Context, sql string, algos ...Algorithm) ([]*Result, error) {
 	if len(algos) == 0 {
 		algos = []Algorithm{AlgorithmELS, AlgorithmSM, AlgorithmSMPTC, AlgorithmSSS}
 	}
 	var out []*Result
 	for _, a := range algos {
-		r, err := s.Query(sql, a)
+		r, err := s.QueryContext(ctx, sql, a)
 		if err != nil {
 			return nil, fmt.Errorf("els: %s: %w", a, err)
 		}

@@ -1,0 +1,78 @@
+package els
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/governor"
+)
+
+// The public error taxonomy. Every failure returned by Query, Estimate,
+// Explain, and their context variants matches one of these sentinels under
+// errors.Is, so callers can branch on failure class without string
+// matching:
+//
+//	res, err := sys.QueryContext(ctx, sql, els.AlgorithmELS)
+//	switch {
+//	case errors.Is(err, els.ErrCanceled):       // caller gave up
+//	case errors.Is(err, els.ErrBudgetExceeded): // resource limit hit
+//	case errors.Is(err, els.ErrParse):          // bad query
+//	case errors.Is(err, els.ErrBadStats):       // rejected statistics
+//	case errors.Is(err, els.ErrInternal):       // recovered panic (bug)
+//	}
+//
+// errors.As exposes the structured details: *els.BudgetError names the
+// exhausted resource and its limit; *els.InternalError carries the panic
+// value and stack.
+var (
+	ErrCanceled       = governor.ErrCanceled
+	ErrBudgetExceeded = governor.ErrBudgetExceeded
+	ErrBadStats       = governor.ErrBadStats
+	ErrParse          = governor.ErrParse
+	ErrInternal       = governor.ErrInternal
+)
+
+// Limits configures per-query resource budgets; see SetLimits. The zero
+// value enforces nothing.
+type Limits = governor.Limits
+
+// BudgetError details which resource budget a query exhausted.
+type BudgetError = governor.BudgetError
+
+// InternalError details a panic recovered at the API boundary.
+type InternalError = governor.InternalError
+
+// SetLimits installs default resource limits applied to every subsequent
+// query on this system (each call gets a fresh budget). Concurrent queries
+// are each governed independently. Pass the zero Limits to remove them.
+func (s *System) SetLimits(l Limits) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limits = l
+}
+
+// Limits returns the system's current default resource limits.
+func (s *System) Limits() Limits {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.limits
+}
+
+// recovered converts a panic captured at the public API boundary into an
+// ErrInternal carrying the panic value and stack, so a bug in the pipeline
+// surfaces as a typed error instead of killing the process embedding the
+// library.
+func recovered(err *error) {
+	if r := recover(); r != nil {
+		*err = governor.NewInternal(r, debug.Stack())
+	}
+}
+
+// wrapParse tags front-end failures (lexing, parsing, binding) with
+// ErrParse while preserving the original error chain.
+func wrapParse(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrParse, err)
+}
