@@ -4,10 +4,15 @@
 // Usage:
 //
 //	elsbench [-experiment all|section8|examples|chain|zipf|urn|random]
-//	         [-scale N] [-seed N] [-estimates-only]
+//	         [-scale N] [-seed N] [-estimates-only] [-workers N]
+//	         [-json BENCH_results.json]
 //
 // The default runs everything. -scale divides the Section 8 table sizes
-// (scale 1 is the paper's full size; 10 is a fast smoke test).
+// (scale 1 is the paper's full size; 10 is a fast smoke test). -workers sets
+// the intra-query parallelism of the executed experiments (0 = GOMAXPROCS;
+// results and work counters are worker-invariant). -json additionally writes
+// a machine-readable report with per-experiment wall time, tuples scanned and
+// worker count.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiment"
@@ -27,15 +33,25 @@ func main() {
 		scale     = flag.Int("scale", 1, "divide the Section 8 table sizes by this factor")
 		seed      = flag.Int64("seed", 42, "random seed for data generation")
 		estimates = flag.Bool("estimates-only", false, "skip data generation and execution (Section 8)")
+		workers   = flag.Int("workers", 0, "intra-query parallelism for executed experiments (0 = GOMAXPROCS, 1 = serial)")
+		jsonPath  = flag.String("json", "", "also write a machine-readable bench report to this path")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	)
 	flag.Parse()
+	report := &experiment.BenchReport{Scale: *scale, Seed: *seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	err := withTimeout(*timeout, func() error {
-		return run(os.Stdout, *which, *scale, *seed, *estimates)
+		return run(os.Stdout, *which, *scale, *seed, *estimates, *workers, report)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "elsbench:", err)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		if err := experiment.WriteBenchJSON(*jsonPath, report); err != nil {
+			fmt.Fprintln(os.Stderr, "elsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "bench report written to %s\n", *jsonPath)
 	}
 }
 
@@ -60,106 +76,137 @@ func withTimeout(d time.Duration, f func() error) error {
 	}
 }
 
-func run(w io.Writer, which string, scale int, seed int64, estimatesOnly bool) error {
-	all := which == "all"
-	ran := false
-
-	if all || which == "examples" {
-		ran = true
-		examples, err := experiment.RunWorkedExamples()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, experiment.FormatWorkedExamples(examples))
-		fmt.Fprintln(w)
-	}
-	if all || which == "section8" {
-		ran = true
-		res, err := experiment.RunSection8(experiment.Section8Options{
-			Scale: scale, Seed: seed, SkipExecution: estimatesOnly,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, experiment.FormatSection8(res))
-		fmt.Fprintln(w)
-		for _, row := range res.Rows {
-			fmt.Fprintf(w, "--- %s / %s plan:\n%s\n", row.Query, row.Algorithm, row.Plan)
-		}
-	}
-	if all || which == "indexed" {
-		ran = true
-		if estimatesOnly {
-			fmt.Fprintln(w, "(indexed experiment skipped: requires execution)")
-		} else {
+func run(w io.Writer, which string, scale int, seed int64, estimatesOnly bool, workers int, report *experiment.BenchReport) error {
+	// Each step prints its human table and returns the executor tuples it
+	// scanned (0 for estimator-only sweeps) plus the worker count it used,
+	// so the bench report can record both alongside the measured wall time.
+	steps := []struct {
+		name string
+		fn   func() (tuples int64, usedWorkers int, err error)
+	}{
+		{"examples", func() (int64, int, error) {
+			examples, err := experiment.RunWorkedExamples()
+			if err != nil {
+				return 0, 1, err
+			}
+			fmt.Fprint(w, experiment.FormatWorkedExamples(examples))
+			fmt.Fprintln(w)
+			return 0, 1, nil
+		}},
+		{"section8", func() (int64, int, error) {
 			res, err := experiment.RunSection8(experiment.Section8Options{
-				Scale: scale, Seed: seed, WithIndexes: true,
+				Scale: scale, Seed: seed, SkipExecution: estimatesOnly, Workers: workers,
 			})
 			if err != nil {
-				return err
+				return 0, 0, err
+			}
+			fmt.Fprint(w, experiment.FormatSection8(res))
+			fmt.Fprintln(w)
+			for _, row := range res.Rows {
+				fmt.Fprintf(w, "--- %s / %s plan:\n%s\n", row.Query, row.Algorithm, row.Plan)
+			}
+			return experiment.SumTuplesScanned(res), resolveWorkers(workers), nil
+		}},
+		{"indexed", func() (int64, int, error) {
+			if estimatesOnly {
+				fmt.Fprintln(w, "(indexed experiment skipped: requires execution)")
+				return 0, 1, nil
+			}
+			res, err := experiment.RunSection8(experiment.Section8Options{
+				Scale: scale, Seed: seed, WithIndexes: true, Workers: workers,
+			})
+			if err != nil {
+				return 0, 0, err
 			}
 			fmt.Fprintln(w, "A6: Section 8 with ordered indexes on all join columns (index NL enabled)")
 			fmt.Fprint(w, experiment.FormatSection8(res))
 			fmt.Fprintln(w)
-		}
+			return experiment.SumTuplesScanned(res), resolveWorkers(workers), nil
+		}},
+		{"chain", func() (int64, int, error) {
+			rows, err := experiment.RunChainLengthSweep(8, 30, seed)
+			if err != nil {
+				return 0, 1, err
+			}
+			fmt.Fprint(w, experiment.FormatChainLengthSweep(rows))
+			fmt.Fprintln(w)
+			return 0, 1, nil
+		}},
+		{"zipf", func() (int64, int, error) {
+			rows, err := experiment.RunZipfSweep(2000, 5000, 500, []float64{0, 0.25, 0.5, 0.75, 1.0}, seed)
+			if err != nil {
+				return 0, 1, err
+			}
+			fmt.Fprint(w, experiment.FormatZipfSweep(rows))
+			fmt.Fprintln(w)
+			return 0, 1, nil
+		}},
+		{"urn", func() (int64, int, error) {
+			rows, err := experiment.RunUrnVsLinear(100000, 10000,
+				[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}, seed)
+			if err != nil {
+				return 0, 1, err
+			}
+			fmt.Fprint(w, experiment.FormatUrnVsLinear(rows))
+			fmt.Fprintln(w)
+			return 0, 1, nil
+		}},
+		{"sampled", func() (int64, int, error) {
+			rows, err := experiment.RunSampledStats(20000, []int{500, 2000, 10000}, seed)
+			if err != nil {
+				return 0, 1, err
+			}
+			fmt.Fprint(w, experiment.FormatSampledStats(rows))
+			fmt.Fprintln(w)
+			return 0, 1, nil
+		}},
+		{"independence", func() (int64, int, error) {
+			rows, err := experiment.RunIndependenceSweep(100000, 200, 0.2, seed)
+			if err != nil {
+				return 0, 1, err
+			}
+			fmt.Fprint(w, experiment.FormatIndependenceSweep(rows))
+			fmt.Fprintln(w)
+			return 0, 1, nil
+		}},
+		{"random", func() (int64, int, error) {
+			rows, err := experiment.RunRandomQueries(30, seed)
+			if err != nil {
+				return 0, 1, err
+			}
+			fmt.Fprint(w, experiment.FormatRandomQueries(rows))
+			fmt.Fprintln(w)
+			return 0, 1, nil
+		}},
 	}
-	if all || which == "chain" {
+	ran := false
+	for _, step := range steps {
+		if which != "all" && which != step.name {
+			continue
+		}
 		ran = true
-		rows, err := experiment.RunChainLengthSweep(8, 30, seed)
+		start := time.Now()
+		tuples, usedWorkers, err := step.fn()
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(w, experiment.FormatChainLengthSweep(rows))
-		fmt.Fprintln(w)
-	}
-	if all || which == "zipf" {
-		ran = true
-		rows, err := experiment.RunZipfSweep(2000, 5000, 500, []float64{0, 0.25, 0.5, 0.75, 1.0}, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, experiment.FormatZipfSweep(rows))
-		fmt.Fprintln(w)
-	}
-	if all || which == "urn" {
-		ran = true
-		rows, err := experiment.RunUrnVsLinear(100000, 10000,
-			[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, experiment.FormatUrnVsLinear(rows))
-		fmt.Fprintln(w)
-	}
-	if all || which == "sampled" {
-		ran = true
-		rows, err := experiment.RunSampledStats(20000, []int{500, 2000, 10000}, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, experiment.FormatSampledStats(rows))
-		fmt.Fprintln(w)
-	}
-	if all || which == "independence" {
-		ran = true
-		rows, err := experiment.RunIndependenceSweep(100000, 200, 0.2, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, experiment.FormatIndependenceSweep(rows))
-		fmt.Fprintln(w)
-	}
-	if all || which == "random" {
-		ran = true
-		rows, err := experiment.RunRandomQueries(30, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, experiment.FormatRandomQueries(rows))
-		fmt.Fprintln(w)
+		report.Results = append(report.Results, experiment.BenchResult{
+			Experiment:    step.name,
+			Workers:       usedWorkers,
+			WallMillis:    float64(time.Since(start).Microseconds()) / 1000,
+			TuplesScanned: tuples,
+		})
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", which)
 	}
 	return nil
+}
+
+// resolveWorkers mirrors the executor's default: 0 means GOMAXPROCS.
+func resolveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
 }

@@ -2,13 +2,22 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiment"
 )
+
+// runFor is the test entry point: run with a throwaway report.
+func runFor(w *bytes.Buffer, which string, scale int, seed int64, estimatesOnly bool) error {
+	return run(w, which, scale, seed, estimatesOnly, 0, &experiment.BenchReport{})
+}
 
 func TestRunSection8Experiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "section8", 100, 42, false); err != nil {
+	if err := runFor(&buf, "section8", 100, 42, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,7 +30,7 @@ func TestRunSection8Experiment(t *testing.T) {
 
 func TestRunEstimatesOnly(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "section8", 1, 42, true); err != nil {
+	if err := runFor(&buf, "section8", 1, 42, true); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -30,7 +39,7 @@ func TestRunEstimatesOnly(t *testing.T) {
 	}
 	// Indexed experiment is skipped without execution.
 	buf.Reset()
-	if err := run(&buf, "indexed", 1, 42, true); err != nil {
+	if err := runFor(&buf, "indexed", 1, 42, true); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "skipped") {
@@ -40,7 +49,7 @@ func TestRunEstimatesOnly(t *testing.T) {
 
 func TestRunExamples(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "examples", 1, 1, false); err != nil {
+	if err := runFor(&buf, "examples", 1, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), "MISMATCH") {
@@ -51,7 +60,7 @@ func TestRunExamples(t *testing.T) {
 func TestRunSmallAblations(t *testing.T) {
 	for _, which := range []string{"urn", "independence", "sampled"} {
 		var buf bytes.Buffer
-		if err := run(&buf, which, 1, 3, false); err != nil {
+		if err := runFor(&buf, which, 1, 3, false); err != nil {
 			t.Fatalf("%s: %v", which, err)
 		}
 		if buf.Len() == 0 {
@@ -66,7 +75,7 @@ func TestRunLargeAblations(t *testing.T) {
 	}
 	for _, which := range []string{"chain", "zipf", "random", "indexed"} {
 		var buf bytes.Buffer
-		if err := run(&buf, which, 10, 3, false); err != nil {
+		if err := runFor(&buf, which, 10, 3, false); err != nil {
 			t.Fatalf("%s: %v", which, err)
 		}
 		if buf.Len() == 0 {
@@ -77,7 +86,41 @@ func TestRunLargeAblations(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", 1, 1, false); err == nil {
+	if err := runFor(&buf, "nope", 1, 1, false); err == nil {
 		t.Error("unknown experiment should error")
+	}
+}
+
+// The bench report must record one result per executed experiment, with the
+// worker count resolved and the Section 8 work counters totalled, and the
+// JSON writer must round-trip it to disk.
+func TestRunBenchReport(t *testing.T) {
+	var buf bytes.Buffer
+	report := &experiment.BenchReport{Scale: 100, Seed: 42, GoMaxProcs: 1}
+	if err := run(&buf, "section8", 100, 42, false, 3, report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(report.Results))
+	}
+	res := report.Results[0]
+	if res.Experiment != "section8" || res.Workers != 3 {
+		t.Errorf("result = %+v, want section8 with 3 workers", res)
+	}
+	if res.TuplesScanned <= 0 {
+		t.Errorf("tuples scanned = %d, want > 0", res.TuplesScanned)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	if err := experiment.WriteBenchJSON(path, report); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"experiment": "section8"`, `"workers": 3`, `"tuples_scanned"`, `"gomaxprocs": 1`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("bench JSON missing %s:\n%s", want, data)
+		}
 	}
 }

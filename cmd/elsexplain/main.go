@@ -38,9 +38,10 @@ func main() {
 	algo := flag.String("algo", "", "single algorithm to show (default: all)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per explain (0 = none)")
 	maxPlans := flag.Int64("max-plans", 0, "enumerated-plan budget per explain (0 = none)")
+	workers := flag.Int("workers", 0, "plan-search parallelism (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	if err := run(tables, *sql, *algo, els.Limits{Timeout: *timeout, MaxPlans: *maxPlans}); err != nil {
+	if err := run(tables, *sql, *algo, els.Limits{Timeout: *timeout, MaxPlans: *maxPlans, Workers: *workers}); err != nil {
 		fmt.Fprintln(os.Stderr, "elsexplain:", err)
 		os.Exit(1)
 	}

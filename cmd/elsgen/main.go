@@ -13,16 +13,19 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/governor"
+	"repro/internal/workpool"
 )
 
 func main() {
@@ -30,11 +33,12 @@ func main() {
 	cols := flag.String("cols", "k:uniform:100", "column specs name:dist:domain[:theta], comma separated")
 	seed := flag.Int64("seed", 42, "generator seed")
 	header := flag.Bool("header", false, "emit a CSV header row")
+	workers := flag.Int("workers", 0, "CSV formatting parallelism (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for generation (0 = none)")
 	flag.Parse()
 
 	err := withTimeout(*timeout, func() error {
-		return run(*rows, *cols, *seed, *header, os.Stdout)
+		return run(*rows, *cols, *seed, *header, *workers, os.Stdout)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "elsgen:", err)
@@ -63,7 +67,7 @@ func withTimeout(d time.Duration, f func() error) error {
 	}
 }
 
-func run(rows int, cols string, seed int64, header bool, w io.Writer) error {
+func run(rows int, cols string, seed int64, header bool, workers int, w io.Writer) error {
 	spec := datagen.TableSpec{Name: "gen", Rows: rows}
 	var names []string
 	for _, c := range strings.Split(cols, ",") {
@@ -83,16 +87,57 @@ func run(rows int, cols string, seed int64, header bool, w io.Writer) error {
 	if header {
 		fmt.Fprintln(out, strings.Join(names, ","))
 	}
-	for r := 0; r < tbl.NumRows(); r++ {
-		for c := 0; c < len(names); c++ {
-			if c > 0 {
-				out.WriteByte(',')
+	// Format row chunks in parallel and write the buffers in chunk order,
+	// so the output is byte-identical to a serial loop. Generation itself
+	// stays serial: the rng streams are seeded sequences.
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunks := chunkRows(tbl.NumRows(), workers)
+	bufs := make([]bytes.Buffer, len(chunks))
+	err = workpool.Run(workers, len(chunks), func(i int) error {
+		buf := &bufs[i]
+		for r := chunks[i][0]; r < chunks[i][1]; r++ {
+			for c := 0; c < len(names); c++ {
+				if c > 0 {
+					buf.WriteByte(',')
+				}
+				fmt.Fprintf(buf, "%d", tbl.Value(r, c).Int())
 			}
-			fmt.Fprintf(out, "%d", tbl.Value(r, c).Int())
+			buf.WriteByte('\n')
 		}
-		out.WriteByte('\n')
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range bufs {
+		if _, err := out.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// chunkRows splits [0, n) into up to workers*4 contiguous [start, end)
+// ranges of at least 1024 rows each.
+func chunkRows(n, workers int) [][2]int {
+	const minChunk = 1024
+	chunks := workers * 4
+	if chunks > (n+minChunk-1)/minChunk {
+		chunks = (n + minChunk - 1) / minChunk
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	var out [][2]int
+	for i := 0; i < chunks; i++ {
+		start, end := i*n/chunks, (i+1)*n/chunks
+		if start < end {
+			out = append(out, [2]int{start, end})
+		}
+	}
+	return out
 }
 
 func parseColumnSpec(s string) (datagen.ColumnSpec, error) {

@@ -50,7 +50,7 @@ func TestParseColumnSpecErrors(t *testing.T) {
 
 func TestRunGeneratesCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(5, "k:uniform:10,z:zipf:5:1.0", 42, true, &buf); err != nil {
+	if err := run(5, "k:uniform:10,z:zipf:5:1.0", 42, true, 1, &buf); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -67,7 +67,7 @@ func TestRunGeneratesCSV(t *testing.T) {
 	}
 	// Deterministic for a seed.
 	var buf2 bytes.Buffer
-	if err := run(5, "k:uniform:10,z:zipf:5:1.0", 42, true, &buf2); err != nil {
+	if err := run(5, "k:uniform:10,z:zipf:5:1.0", 42, true, 1, &buf2); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != buf2.String() {
@@ -75,12 +75,49 @@ func TestRunGeneratesCSV(t *testing.T) {
 	}
 }
 
+// Parallel formatting must be byte-identical to serial at every worker
+// count, including chunk boundaries (rows > minChunk forces real chunking).
+func TestRunParallelFormattingIdentical(t *testing.T) {
+	const spec = "k:uniform:50,z:zipf:20:0.5"
+	var serial bytes.Buffer
+	if err := run(5000, spec, 7, true, 1, &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 7} {
+		var par bytes.Buffer
+		if err := run(5000, spec, 7, true, workers, &par); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.String() != serial.String() {
+			t.Errorf("workers=%d output differs from serial", workers)
+		}
+	}
+}
+
+func TestChunkRows(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {1023, 4}, {5000, 3}, {100000, 8},
+	} {
+		chunks := chunkRows(tc.n, tc.workers)
+		next := 0
+		for _, c := range chunks {
+			if c[0] != next || c[1] <= c[0] {
+				t.Fatalf("n=%d workers=%d: bad chunk %v at %d", tc.n, tc.workers, c, next)
+			}
+			next = c[1]
+		}
+		if tc.n > 0 && next != tc.n {
+			t.Errorf("n=%d workers=%d: chunks cover %d rows", tc.n, tc.workers, next)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(5, "bad", 1, false, &buf); err == nil {
+	if err := run(5, "bad", 1, false, 1, &buf); err == nil {
 		t.Error("bad column spec should error")
 	}
-	if err := run(-1, "k:uniform:10", 1, false, &buf); err == nil {
+	if err := run(-1, "k:uniform:10", 1, false, 1, &buf); err == nil {
 		t.Error("negative rows should error")
 	}
 }

@@ -9,7 +9,8 @@
 //
 // Resource budgets applied to every query can be set up front with
 // -timeout, -max-tuples, -max-rows, and -max-plans, or at runtime with the
-// "limits" command inside the shell.
+// "limits" command inside the shell. -workers (or "limits workers=N") sets
+// the intra-query parallelism; results are identical at any setting.
 package main
 
 import (
@@ -28,12 +29,14 @@ func main() {
 	maxTuples := flag.Int64("max-tuples", 0, "per-query scanned-tuple budget (0 = none)")
 	maxRows := flag.Int64("max-rows", 0, "per-query materialized-row budget (0 = none)")
 	maxPlans := flag.Int64("max-plans", 0, "per-query enumerated-plan budget (0 = none)")
+	workers := flag.Int("workers", 0, "intra-query parallelism (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 	limits := els.Limits{
 		Timeout:   *timeout,
 		MaxTuples: *maxTuples,
 		MaxRows:   *maxRows,
 		MaxPlans:  *maxPlans,
+		Workers:   *workers,
 	}
 	if err := run(os.Stdin, os.Stdout, limits, isTerminal()); err != nil {
 		fmt.Fprintln(os.Stderr, "elsrepl:", err)

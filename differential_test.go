@@ -1,0 +1,152 @@
+package els
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cardest"
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/executor"
+	"repro/internal/governor"
+	"repro/internal/optimizer"
+	"repro/internal/querygen"
+	"repro/internal/storage"
+)
+
+// differentialQueries is how many seeded random queries the harness runs.
+// Short mode trims it so -race CI legs stay fast; the full run satisfies
+// the 500-query acceptance bar.
+func differentialQueries(t *testing.T) int64 {
+	if testing.Short() {
+		return 60
+	}
+	return 500
+}
+
+// runGenerated materializes one generated query's tables into a catalog
+// and plans it (serially, so the plan under test is fixed).
+func planGenerated(t *testing.T, q querygen.Query) (*catalog.Catalog, optimizer.Plan) {
+	t.Helper()
+	cat := catalog.New()
+	for _, spec := range q.Specs {
+		tbl, err := datagen.Generate(spec, q.DataSeed+int64(len(spec.Name)))
+		if err != nil {
+			t.Fatalf("%s: datagen: %v", q, err)
+		}
+		if _, err := cat.Analyze(tbl, catalog.AnalyzeOptions{}); err != nil {
+			t.Fatalf("%s: analyze: %v", q, err)
+		}
+	}
+	est, err := cardest.New(cat, q.Tables, q.Preds, cardest.ELS())
+	if err != nil {
+		t.Fatalf("%s: cardest: %v", q, err)
+	}
+	opt, err := optimizer.New(est, optimizer.Options{Methods: q.Methods, Workers: 1})
+	if err != nil {
+		t.Fatalf("%s: optimizer: %v", q, err)
+	}
+	plan, err := opt.BestPlan()
+	if err != nil {
+		t.Fatalf("%s: plan: %v", q, err)
+	}
+	return cat, plan
+}
+
+// execWorkers runs the plan with the given parallelism on a fresh
+// governor and returns the result plus the governor's usage counters.
+func execWorkers(t *testing.T, cat *catalog.Catalog, plan optimizer.Plan, workers int) (*executor.Result, [2]int64) {
+	t.Helper()
+	gov := governor.New(context.Background(), governor.Limits{Workers: workers})
+	res, err := executor.NewGoverned(cat, gov).Execute(plan)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	tuples, rows, _ := gov.Usage()
+	return res, [2]int64{tuples, rows}
+}
+
+// TestDifferentialSerialVsParallel is the harness the tentpole is locked
+// down by: 500 seeded random queries, each executed serially and with 4
+// workers on the same plan. Results must be identical row for row (the
+// parallel operators preserve serial order by construction), and the
+// deterministic work counters — TuplesScanned, Comparisons, and the
+// governor's tuple/row accounting — must match exactly.
+func TestDifferentialSerialVsParallel(t *testing.T) {
+	queries := differentialQueries(t)
+	for seed := int64(0); seed < queries; seed++ {
+		q := querygen.Generate(seed)
+		cat, plan := planGenerated(t, q)
+		serial, serialUsage := execWorkers(t, cat, plan, 1)
+		parallel, parallelUsage := execWorkers(t, cat, plan, 4)
+
+		if parallel.Stats.RowsProduced != serial.Stats.RowsProduced {
+			t.Fatalf("seed %d (%s): rows %d (parallel) vs %d (serial)",
+				seed, q, parallel.Stats.RowsProduced, serial.Stats.RowsProduced)
+		}
+		if parallel.Stats.TuplesScanned != serial.Stats.TuplesScanned {
+			t.Fatalf("seed %d (%s): tuples scanned %d vs %d",
+				seed, q, parallel.Stats.TuplesScanned, serial.Stats.TuplesScanned)
+		}
+		if parallel.Stats.Comparisons != serial.Stats.Comparisons {
+			t.Fatalf("seed %d (%s): comparisons %d vs %d",
+				seed, q, parallel.Stats.Comparisons, serial.Stats.Comparisons)
+		}
+		if parallelUsage != serialUsage {
+			t.Fatalf("seed %d (%s): governor usage %v vs %v",
+				seed, q, parallelUsage, serialUsage)
+		}
+		assertSameRows(t, seed, q, serial.Table, parallel.Table)
+	}
+}
+
+func assertSameRows(t *testing.T, seed int64, q querygen.Query, a, b *storage.Table) {
+	t.Helper()
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("seed %d (%s): %d vs %d result rows", seed, q, a.NumRows(), b.NumRows())
+	}
+	for r := 0; r < a.NumRows(); r++ {
+		for c := 0; c < a.Schema().NumColumns(); c++ {
+			if storage.Compare(a.Value(r, c), b.Value(r, c)) != 0 {
+				t.Fatalf("seed %d (%s): result differs at row %d col %d: %s vs %s",
+					seed, q, r, c, a.Value(r, c), b.Value(r, c))
+			}
+		}
+	}
+}
+
+// The full public pipeline must also be worker-count invariant: the same
+// SQL through System.Query with Limits.Workers 1 vs 4 returns the same
+// count, tuples, and comparisons (TrueCount parity at the API level).
+func TestDifferentialSystemWorkers(t *testing.T) {
+	run := func(workers int) *Result {
+		sys := New()
+		mkRows := func(n, dom int) [][]int64 {
+			rows := make([][]int64, n)
+			for i := range rows {
+				rows[i] = []int64{int64(i % dom), int64(i % 7)}
+			}
+			return rows
+		}
+		if err := sys.LoadTable("R", []string{"a", "b"}, mkRows(200, 10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.LoadTable("S", []string{"a", "c"}, mkRows(300, 10)); err != nil {
+			t.Fatal(err)
+		}
+		sys.SetLimits(Limits{Workers: workers})
+		res, err := sys.Query("SELECT COUNT(*) FROM R, S WHERE R.a = S.a AND R.b < 5", AlgorithmELS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(4)
+	if parallel.Count != serial.Count ||
+		parallel.TuplesScanned != serial.TuplesScanned ||
+		parallel.Comparisons != serial.Comparisons {
+		t.Fatalf("System.Query differs by workers: parallel (count %d, tuples %d, cmp %d) vs serial (%d, %d, %d)",
+			parallel.Count, parallel.TuplesScanned, parallel.Comparisons,
+			serial.Count, serial.TuplesScanned, serial.Comparisons)
+	}
+}

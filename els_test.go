@@ -179,7 +179,9 @@ func TestLoadTableAndQuery(t *testing.T) {
 	if res.Count != 3 {
 		t.Errorf("count = %d, want 3", res.Count)
 	}
-	if res.TuplesScanned <= 0 || res.Elapsed <= 0 {
+	// Deterministic work counters only — wall-clock may round to zero on
+	// coarse clocks.
+	if res.TuplesScanned <= 0 || res.Comparisons <= 0 {
 		t.Error("work counters missing")
 	}
 	// Projection query materializes rows.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/closure"
@@ -52,6 +53,34 @@ type Estimator struct {
 	base     map[string]*catalog.TableStats    // alias -> stats (renamed clone)
 	repSel   map[string]float64                // class id -> representative selectivity
 	warnings []string                          // statistics repairs applied during construction
+
+	// memo caches JoinStep's selectivity computation per (joined set,
+	// next) pair; everything it stores depends only on that pair, because
+	// the predicate set, equivalence classes, and effective statistics are
+	// fixed at construction. Guarded by memoMu: the optimizer's parallel
+	// DP search calls JoinStep from many goroutines.
+	memoMu sync.Mutex
+	memo   map[string]memoEntry
+}
+
+// memoEntry is the currentSize-independent part of one JoinStep result.
+type memoEntry struct {
+	tableCard   float64
+	selectivity float64
+	cartesian   bool
+	groups      []GroupChoice
+}
+
+// memoKey canonicalizes a (joined set, next) pair: the joined aliases are
+// order-insensitive in JoinStep (eligibility depends on set membership
+// only), so the key sorts them.
+func memoKey(joined []string, next string) string {
+	names := make([]string, len(joined))
+	for i, j := range joined {
+		names[i] = strings.ToLower(j)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",") + "|" + strings.ToLower(next)
 }
 
 // New builds an estimator for a query over the given tables and predicate
@@ -82,6 +111,7 @@ func NewQuery(cat *catalog.Catalog, tables []TableRef, preds []expr.Predicate, d
 		eff:    make(map[string]*selest.EffectiveStats),
 		base:   make(map[string]*catalog.TableStats),
 		repSel: make(map[string]float64),
+		memo:   make(map[string]memoEntry),
 	}
 
 	// The construction probe can fail the estimator outright or hand back

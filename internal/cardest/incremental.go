@@ -51,42 +51,76 @@ type StepResult struct {
 // equivalence class, choose one selectivity per group by the configured
 // rule, and multiply.
 func (e *Estimator) JoinStep(currentSize float64, joined []string, next string) (StepResult, error) {
-	eff, err := e.Effective(next)
-	if err != nil {
-		return StepResult{}, err
-	}
 	for _, j := range joined {
 		if strings.EqualFold(j, next) {
 			return StepResult{}, fmt.Errorf("cardest: table %q already joined", next)
 		}
 	}
-	eligible := closure.EligibleJoinPredicates(e.preds, next, joined)
-	res := StepResult{Table: next, TableCard: eff.Card}
-
-	if len(eligible) == 0 {
-		res.Cartesian = true
-		res.Selectivity = 1
-		res.Size = currentSize * eff.Card
-		return res, nil
+	// The selectivity, groups, and cartesian flag depend only on the
+	// (joined set, next) pair — currentSize enters only the final product —
+	// so the dynamic-programming search, which revisits the same pair from
+	// many subsets, hits the memo instead of regrouping predicates.
+	var key string
+	if !e.cfg.DisableMemo {
+		key = memoKey(joined, next)
+		e.memoMu.Lock()
+		ent, ok := e.memo[key]
+		e.memoMu.Unlock()
+		if ok {
+			return ent.result(currentSize, next), nil
+		}
 	}
 
-	groups, err := e.groupEligible(eligible)
+	eff, err := e.Effective(next)
 	if err != nil {
 		return StepResult{}, err
 	}
-	sel := 1.0
-	for i := range groups {
-		chosen, err := e.chooseSelectivity(&groups[i])
+	eligible := closure.EligibleJoinPredicates(e.preds, next, joined)
+	ent := memoEntry{tableCard: eff.Card, selectivity: 1}
+
+	if len(eligible) == 0 {
+		ent.cartesian = true
+	} else {
+		groups, err := e.groupEligible(eligible)
 		if err != nil {
 			return StepResult{}, err
 		}
-		groups[i].Chosen = chosen
-		sel *= chosen
+		sel := 1.0
+		for i := range groups {
+			chosen, err := e.chooseSelectivity(&groups[i])
+			if err != nil {
+				return StepResult{}, err
+			}
+			groups[i].Chosen = chosen
+			sel *= chosen
+		}
+		ent.groups = groups
+		ent.selectivity = sel
 	}
-	res.Groups = groups
-	res.Selectivity = sel
-	res.Size = currentSize * eff.Card * sel
-	return res, nil
+	if !e.cfg.DisableMemo {
+		e.memoMu.Lock()
+		e.memo[key] = ent
+		e.memoMu.Unlock()
+	}
+	return ent.result(currentSize, next), nil
+}
+
+// result materializes a StepResult for one currentSize from the memoized
+// size-independent parts. The groups slice is copied so callers can never
+// mutate the cached entry through a returned result.
+func (ent memoEntry) result(currentSize float64, next string) StepResult {
+	res := StepResult{
+		Table:       next,
+		TableCard:   ent.tableCard,
+		Selectivity: ent.selectivity,
+		Cartesian:   ent.cartesian,
+		Size:        currentSize * ent.tableCard * ent.selectivity,
+	}
+	if ent.groups != nil {
+		res.Groups = make([]GroupChoice, len(ent.groups))
+		copy(res.Groups, ent.groups)
+	}
+	return res
 }
 
 // groupEligible buckets eligible join predicates by equivalence class.

@@ -1,0 +1,199 @@
+package cardest
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// memoTestQuery builds a 5-table query with a 3-column equivalence class,
+// a non-equality join predicate, and local predicates — every selectivity
+// path JoinStep has.
+func memoTestQuery() (*catalog.Catalog, []TableRef, []expr.Predicate) {
+	cat := catalog.New()
+	cat.MustAddTable(catalog.SimpleTable("A", 1000, map[string]float64{"x": 100, "v": 50}))
+	cat.MustAddTable(catalog.SimpleTable("B", 2000, map[string]float64{"x": 400, "w": 80}))
+	cat.MustAddTable(catalog.SimpleTable("C", 5000, map[string]float64{"x": 900}))
+	cat.MustAddTable(catalog.SimpleTable("D", 300, map[string]float64{"y": 300}))
+	cat.MustAddTable(catalog.SimpleTable("E", 800, map[string]float64{"y": 200, "z": 10}))
+	tabs := []TableRef{{Table: "A"}, {Table: "B"}, {Table: "C"}, {Table: "D"}, {Table: "E"}}
+	ref := func(t, c string) expr.ColumnRef { return expr.ColumnRef{Table: t, Column: c} }
+	preds := []expr.Predicate{
+		expr.NewJoin(ref("A", "x"), expr.OpEQ, ref("B", "x")),
+		expr.NewJoin(ref("B", "x"), expr.OpEQ, ref("C", "x")),
+		expr.NewJoin(ref("D", "y"), expr.OpEQ, ref("E", "y")),
+		expr.NewJoin(ref("A", "v"), expr.OpLT, ref("E", "z")),
+		expr.NewConst(ref("A", "v"), expr.OpLT, storage.Int64(25)),
+		expr.NewConst(ref("E", "z"), expr.OpEQ, storage.Int64(3)),
+	}
+	return cat, tabs, preds
+}
+
+func memoConfigs() map[string]Config {
+	return map[string]Config{
+		"ELS": ELS(),
+		"SM":  SM(),
+		"SSS": SSS(),
+		"REP": {Rule: RuleRepresentative, Rep: RepLargest, UseEffectiveStats: true, ApplyClosure: true},
+	}
+}
+
+// sameStep asserts two StepResults are bit-identical (floats compared with
+// ==, no tolerance: the memo stores the computed values, it must not
+// recompute them differently).
+func sameStep(t *testing.T, label string, got, want StepResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: step differs:\n memo   %+v\n direct %+v", label, got, want)
+	}
+}
+
+// The memo must be invisible: for seeded random join orders and prefixes,
+// an estimator with the memo (including repeated, cache-hitting calls)
+// returns bit-identical StepResults — sizes, selectivities, groups, and
+// warnings — to an estimator with DisableMemo set.
+func TestMemoInvisibleProperty(t *testing.T) {
+	cat, tabs, preds := memoTestQuery()
+	for name, cfg := range memoConfigs() {
+		t.Run(name, func(t *testing.T) {
+			memoCfg := cfg
+			plainCfg := cfg
+			plainCfg.DisableMemo = true
+			memoEst, err := New(cat, tabs, preds, memoCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainEst, err := New(cat, tabs, preds, plainCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(memoEst.Warnings(), plainEst.Warnings()) {
+				t.Fatalf("warnings differ: %v vs %v", memoEst.Warnings(), plainEst.Warnings())
+			}
+			aliases := []string{"A", "B", "C", "D", "E"}
+			rng := rand.New(rand.NewSource(1994))
+			for trial := 0; trial < 300; trial++ {
+				perm := rng.Perm(len(aliases))
+				k := 1 + rng.Intn(len(aliases)-1) // prefix length 1..n-1
+				joined := make([]string, k)
+				for i := 0; i < k; i++ {
+					joined[i] = aliases[perm[i]]
+				}
+				next := aliases[perm[k]]
+				size := float64(1 + rng.Intn(1_000_000))
+				want, err := plainEst.JoinStep(size, joined, next)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// First call fills the memo, second hits it; both must match.
+				for pass := 0; pass < 2; pass++ {
+					got, err := memoEst.JoinStep(size, joined, next)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameStep(t, name, got, want)
+				}
+			}
+			// Full-order estimation must agree too (exercises EstimateOrder
+			// and FinalSize through the memo).
+			order := []string{"D", "A", "E", "C", "B"}
+			wantSteps, err := plainEst.EstimateOrder(order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSteps, err := memoEst.EstimateOrder(order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotSteps, wantSteps) {
+				t.Fatalf("EstimateOrder differs:\n memo   %+v\n direct %+v", gotSteps, wantSteps)
+			}
+		})
+	}
+}
+
+// Joined-set order must not affect the estimate (the memo key sorts the
+// set, so an order sensitivity would surface as a cache collision).
+func TestMemoKeyOrderInsensitive(t *testing.T) {
+	cat, tabs, preds := memoTestQuery()
+	est, err := New(cat, tabs, preds, ELS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := est.JoinStep(5000, []string{"A", "B", "D"}, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := est.JoinStep(5000, []string{"D", "B", "A"}, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStep(t, "order", b, a)
+}
+
+// Mutating a returned result's groups must not poison the cache.
+func TestMemoResultIsolated(t *testing.T) {
+	cat, tabs, preds := memoTestQuery()
+	est, err := New(cat, tabs, preds, ELS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := est.JoinStep(1000, []string{"A"}, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Groups) == 0 {
+		t.Fatal("expected grouped predicates for A⋈B")
+	}
+	first.Groups[0].Chosen = -1
+	second, err := est.JoinStep(1000, []string{"A"}, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Groups[0].Chosen == -1 {
+		t.Fatal("cache entry mutated through a returned result")
+	}
+}
+
+// Concurrent JoinStep calls (the parallel DP search's access pattern) must
+// be race-free and all return the serial answer.
+func TestMemoConcurrentAccess(t *testing.T) {
+	cat, tabs, preds := memoTestQuery()
+	est, err := New(cat, tabs, preds, ELS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := ELS()
+	plain.DisableMemo = true
+	plainEst, err := New(cat, tabs, preds, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plainEst.JoinStep(777, []string{"A", "C"}, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([]StepResult, 32)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := est.JoinStep(777, []string{"A", "C"}, "B")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		sameStep(t, "concurrent", results[i], want)
+	}
+}

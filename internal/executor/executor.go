@@ -7,6 +7,15 @@
 // chosen under a drastic underestimate pays the re-scans its optimizer
 // believed were free.
 //
+// Scans, hash joins, and nested-loops joins run in parallel on a bounded
+// worker pool (see internal/workpool) when the worker count — SetWorkers,
+// the governor's Limits.Workers, or GOMAXPROCS, in that order — exceeds
+// one. Parallel operators are deterministic: chunk outputs concatenate in
+// chunk order, so results are row-for-row identical to serial execution
+// and the work counters match exactly; the shared governor's atomic
+// budgets stay exact under concurrency. Sort-merge and index-nested-loops
+// run serially (their cost is dominated by sorting and index probes).
+//
 // The executor counts the base-table tuples it visits and the predicate
 // evaluations it performs, so experiments can report deterministic work
 // measures alongside wall-clock times.
@@ -82,8 +91,9 @@ type Result struct {
 
 // Executor runs plans against the data tables of one catalog.
 type Executor struct {
-	cat *catalog.Catalog
-	gov *governor.Governor
+	cat     *catalog.Catalog
+	gov     *governor.Governor
+	workers int
 }
 
 // New creates an executor over the catalog's registered data tables.
@@ -96,6 +106,16 @@ func New(cat *catalog.Catalog) *Executor {
 // materialized, and poll cancellation periodically. gov may be nil.
 func NewGoverned(cat *catalog.Catalog, gov *governor.Governor) *Executor {
 	return &Executor{cat: cat, gov: gov}
+}
+
+// SetWorkers overrides the executor's parallelism degree: n ≤ 0 restores
+// the default (the governor's Limits.Workers, else GOMAXPROCS); 1 forces
+// serial execution. Call before Execute, not concurrently with it.
+func (e *Executor) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.workers = n
 }
 
 // visit charges one visited tuple to both the work counters and the
@@ -202,7 +222,6 @@ func (e *Executor) runScan(s *optimizer.Scan, stats *Stats) (*storage.Table, err
 	if err != nil {
 		return nil, err
 	}
-	out := storage.NewTable(s.Alias, schema)
 	filter, err := compileAll(s.Filter, schema)
 	if err != nil {
 		return nil, err
@@ -211,24 +230,42 @@ func (e *Executor) runScan(s *optimizer.Scan, stats *Stats) (*storage.Table, err
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]storage.Value, 0, schema.NumColumns())
-	for r := 0; r < base.NumRows(); r++ {
+	workers := e.resolveWorkers()
+	ranges := chunkRanges(base.NumRows(), workers)
+	if workers > 1 && len(ranges) > 1 {
+		return e.parallelScan(s, base, schema, filter, orFilter, workers, ranges, stats)
+	}
+	out := storage.NewTable(s.Alias, schema)
+	if err := e.scanRange(base, 0, base.NumRows(), filter, orFilter, out, stats); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scanRange filters base rows [start, end) into out, charging the visit
+// and row budgets. It is the shared body of the serial scan and of one
+// parallel scan chunk (then out and stats are chunk-local, the governor
+// shared).
+func (e *Executor) scanRange(base *storage.Table, start, end int, filter compiled,
+	orFilter []compiledDisj, out *storage.Table, stats *Stats) error {
+	buf := make([]storage.Value, 0, out.Schema().NumColumns())
+	for r := start; r < end; r++ {
 		if err := e.visit(stats); err != nil {
-			return nil, err
+			return err
 		}
 		buf = base.AppendRowTo(buf[:0], r)
 		ok, err := filter.eval(buf, stats)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ok || !evalDisjunctions(orFilter, buf, stats) {
 			continue
 		}
 		if err := e.emit(out, buf); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 func (e *Executor) runJoin(j *optimizer.Join, stats *Stats, rec *recorder, depth int) (*storage.Table, error) {
@@ -370,17 +407,26 @@ func joinSchema(l, r *storage.Schema) (*storage.Schema, error) {
 	return storage.NewSchema(cols...)
 }
 
+// nlInner describes the inner input of a nested-loops join: either a base
+// table re-scanned (with its filters re-applied) per outer row, or a
+// materialized intermediate re-read per outer row. It is read-only during
+// the join, so parallel outer chunks share it.
+type nlInner struct {
+	base       *storage.Table
+	schema     *storage.Schema
+	rescan     bool
+	filter     compiled
+	orFilter   []compiledDisj
+	joinFilter compiled
+}
+
 // nestedLoop joins left with the (re-scanned) inner input. When the inner
 // is a base scan, the base table is re-read for each outer row, applying
 // the scan filter each time — the honest cost the optimizer's
 // NestedLoopCost models. When the inner is itself a join (bushy plans), it
 // is materialized once and the materialization is re-read per outer row.
 func (e *Executor) nestedLoop(j *optimizer.Join, left *storage.Table, stats *Stats, rec *recorder, depth int) (*storage.Table, error) {
-	var innerBase *storage.Table
-	var innerFilter compiled
-	var innerOrFilter []compiledDisj
-	var innerSchema *storage.Schema
-	rescanBase := false
+	var in nlInner
 
 	if scan, ok := j.Right.(*optimizer.Scan); ok {
 		base := e.cat.Data(scan.Table)
@@ -391,11 +437,11 @@ func (e *Executor) nestedLoop(j *optimizer.Join, left *storage.Table, stats *Sta
 		if err != nil {
 			return nil, err
 		}
-		innerBase, innerSchema, rescanBase = base, schema, true
-		if innerFilter, err = compileAll(scan.Filter, schema); err != nil {
+		in.base, in.schema, in.rescan = base, schema, true
+		if in.filter, err = compileAll(scan.Filter, schema); err != nil {
 			return nil, err
 		}
-		if innerOrFilter, err = compileDisjunctions(scan.FilterOr, schema); err != nil {
+		if in.orFilter, err = compileDisjunctions(scan.FilterOr, schema); err != nil {
 			return nil, err
 		}
 		// The re-scanned inner is never materialized: record it with an
@@ -406,32 +452,47 @@ func (e *Executor) nestedLoop(j *optimizer.Join, left *storage.Table, stats *Sta
 		if err != nil {
 			return nil, err
 		}
-		innerBase, innerSchema = mat, mat.Schema()
+		in.base, in.schema = mat, mat.Schema()
 	}
 
-	outSchema, err := joinSchema(left.Schema(), innerSchema)
+	outSchema, err := joinSchema(left.Schema(), in.schema)
 	if err != nil {
 		return nil, err
 	}
-	join, err := compileAll(j.Preds, outSchema)
-	if err != nil {
+	if in.joinFilter, err = compileAll(j.Preds, outSchema); err != nil {
 		return nil, err
+	}
+	workers := e.resolveWorkers()
+	ranges := chunkRanges(left.NumRows(), workers)
+	if workers > 1 && len(ranges) > 1 {
+		return e.parallelNestedLoop(left, in, in.joinFilter, outSchema, workers, ranges, stats)
 	}
 	out := storage.NewTable("join", outSchema)
-	row := make([]storage.Value, 0, outSchema.NumColumns())
-	inner := make([]storage.Value, 0, innerSchema.NumColumns())
-	for lr := 0; lr < left.NumRows(); lr++ {
-		for rr := 0; rr < innerBase.NumRows(); rr++ {
+	if err := e.nlRange(left, in, in.joinFilter, out, 0, left.NumRows(), stats); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// nlRange runs the nested-loops join for outer rows [start, end),
+// re-reading the shared inner input per outer row. It is the shared body
+// of the serial operator and of one parallel outer chunk.
+func (e *Executor) nlRange(left *storage.Table, in nlInner, join compiled,
+	out *storage.Table, start, end int, stats *Stats) error {
+	row := make([]storage.Value, 0, out.Schema().NumColumns())
+	inner := make([]storage.Value, 0, in.schema.NumColumns())
+	for lr := start; lr < end; lr++ {
+		for rr := 0; rr < in.base.NumRows(); rr++ {
 			if err := e.visit(stats); err != nil {
-				return nil, err
+				return err
 			}
-			inner = innerBase.AppendRowTo(inner[:0], rr)
-			if rescanBase {
-				ok, err := innerFilter.eval(inner, stats)
+			inner = in.base.AppendRowTo(inner[:0], rr)
+			if in.rescan {
+				ok, err := in.filter.eval(inner, stats)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				if !ok || !evalDisjunctions(innerOrFilter, inner, stats) {
+				if !ok || !evalDisjunctions(in.orFilter, inner, stats) {
 					continue
 				}
 			}
@@ -439,16 +500,16 @@ func (e *Executor) nestedLoop(j *optimizer.Join, left *storage.Table, stats *Sta
 			row = append(row, inner...)
 			ok, err := join.eval(row, stats)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if ok {
 				if err := e.emit(out, row); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // sortMerge joins two materialized inputs on the first equality predicate,
@@ -554,6 +615,11 @@ func (e *Executor) hashJoin(j *optimizer.Join, left, right *storage.Table, stats
 	residual, err := compileAll(residuals, outSchema)
 	if err != nil {
 		return nil, err
+	}
+	workers := e.resolveWorkers()
+	if workers > 1 && (len(chunkRanges(right.NumRows(), workers)) > 1 ||
+		len(chunkRanges(left.NumRows(), workers)) > 1) {
+		return e.partitionedHashJoin(left, right, lKey, rKey, residual, outSchema, workers, stats)
 	}
 	build := make(map[string][]int, right.NumRows())
 	for r := 0; r < right.NumRows(); r++ {

@@ -256,8 +256,10 @@ func TestCountHelper(t *testing.T) {
 	if n != 12 || stats.RowsProduced != 12 {
 		t.Errorf("Count = %d, want 12", n)
 	}
-	if stats.Elapsed <= 0 {
-		t.Error("elapsed time should be measured")
+	// Deterministic work counters only — wall-clock may round to zero on
+	// coarse clocks.
+	if stats.TuplesScanned != 12 {
+		t.Errorf("tuples scanned = %d, want 12", stats.TuplesScanned)
 	}
 }
 

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchResult is one experiment's machine-readable measurement. cmd/elsbench
+// collects one per experiment run and emits them as BENCH_results.json so CI
+// can archive timings without scraping the human-formatted tables.
+type BenchResult struct {
+	// Experiment is the -experiment selector name ("section8", "zipf", ...).
+	Experiment string `json:"experiment"`
+	// Workers is the resolved intra-query worker count the run used. The
+	// estimator-only sweeps are serial by construction and report 1.
+	Workers int `json:"workers"`
+	// WallMillis is the experiment's wall-clock time in milliseconds.
+	WallMillis float64 `json:"wall_ms"`
+	// TuplesScanned sums the executor work counters across the experiment's
+	// queries; 0 for estimates-only runs and estimator-only sweeps.
+	TuplesScanned int64 `json:"tuples_scanned"`
+}
+
+// BenchReport is the top-level BENCH_results.json document.
+type BenchReport struct {
+	// Scale and Seed echo the flags so a result file is self-describing.
+	Scale int   `json:"scale"`
+	Seed  int64 `json:"seed"`
+	// GoMaxProcs records the machine parallelism available to the run —
+	// needed to interpret Workers > GoMaxProcs results (no real speedup
+	// possible).
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Results    []BenchResult `json:"results"`
+}
+
+// SumTuplesScanned totals the executor work across a Section 8 table's rows.
+func SumTuplesScanned(res *Section8Result) int64 {
+	var total int64
+	for _, row := range res.Rows {
+		total += row.Stats.TuplesScanned
+	}
+	return total
+}
+
+// WriteBenchJSON writes the report as indented JSON to path.
+func WriteBenchJSON(path string, rep *BenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiment: marshal bench report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("experiment: write bench report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The golden T1 pin: the scale-1 estimated sizes rendered to six
+// significant digits must equal the paper's printed values digit for
+// digit — not merely within a tolerance. These numbers are pure
+// statistics arithmetic (no data, no clocks), so any drift is a real
+// estimator regression: a changed selectivity rule, closure, or effective
+// statistic.
+func TestSection8GoldenEstimates(t *testing.T) {
+	res, err := RunSection8(Section8Options{Scale: 1, SkipExecution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []struct {
+		algorithm string
+		order     string
+		sizes     []string
+	}{
+		{"SM", "S M B G", []string{"100", "100", "100"}},
+		{"SM", "S B M G", []string{"0.2", "4e-08", "4e-21"}},  // paper: (0.2, 4·10⁻⁸, 4·10⁻²¹)
+		{"SSS", "S B M G", []string{"0.2", "0.0004", "4e-07"}}, // paper: (0.2, 4·10⁻⁴, 4·10⁻⁷)
+		{"ELS", "S B M G", []string{"100", "100", "100"}},      // paper: (100, 100, 100)
+	}
+	if len(res.Rows) != len(golden) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(golden))
+	}
+	for i, g := range golden {
+		row := res.Rows[i]
+		if row.Algorithm != g.algorithm {
+			t.Errorf("row %d algorithm = %s, want %s", i, row.Algorithm, g.algorithm)
+		}
+		if got := strings.Join(row.JoinOrder, " "); got != g.order {
+			t.Errorf("row %d join order = %q, want %q", i, got, g.order)
+		}
+		if len(row.EstimatedSizes) != len(g.sizes) {
+			t.Fatalf("row %d has %d estimates, want %d", i, len(row.EstimatedSizes), len(g.sizes))
+		}
+		for j, want := range g.sizes {
+			if got := fmt.Sprintf("%.6g", row.EstimatedSizes[j]); got != want {
+				t.Errorf("row %d (%s) step %d estimate = %s, want %s digit-for-digit",
+					i, g.algorithm, j, got, want)
+			}
+		}
+	}
+}

@@ -33,7 +33,9 @@ func TestRunSection8Scale10(t *testing.T) {
 		if len(row.JoinOrder) != 4 || len(row.EstimatedSizes) != 3 || len(row.Methods) != 3 {
 			t.Errorf("row %d shape wrong: %+v", i, row)
 		}
-		if row.Stats.TuplesScanned <= 0 || row.Stats.Elapsed <= 0 {
+		// Assert on the deterministic work counters only: wall-clock can
+		// legitimately measure ~0 on coarse clocks or very fast runs.
+		if row.Stats.TuplesScanned <= 0 || row.Stats.RowsProduced <= 0 {
 			t.Errorf("row %d missing execution stats: %+v", i, row.Stats)
 		}
 	}

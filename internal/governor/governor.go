@@ -5,9 +5,15 @@
 // A Governor is created per query from a context.Context plus a Limits
 // configuration. The optimizer ticks it once per enumerated join candidate
 // set; the executor ticks it once per tuple visited and per materialized
-// output row. Ticks are cheap (an integer compare); the context is polled
-// only every checkInterval ticks so that governance stays off the critical
-// path of tight scan loops.
+// output row. Ticks are cheap (an atomic add and compare); the context is
+// polled only every checkInterval ticks so that governance stays off the
+// critical path of tight scan loops.
+//
+// Counters are atomic, so the worker goroutines of a parallel scan or join
+// may tick one shared Governor concurrently: accounting stays exact (every
+// visited tuple is charged exactly once) and a budget overrun is detected
+// by whichever worker crosses the limit. The stop decision is made once,
+// by the pool draining the workers — see internal/workpool.
 //
 // A nil *Governor is valid and enforces nothing, so deep pipeline code can
 // thread a governor unconditionally without nil checks at every site.
@@ -17,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -81,8 +88,8 @@ func NewInternal(value any, stack []byte) *InternalError {
 	return &InternalError{Value: value, Stack: stack}
 }
 
-// Limits configures per-query resource budgets. The zero value enforces
-// nothing.
+// Limits configures per-query resource budgets and parallelism. The zero
+// value enforces nothing and uses the default worker count.
 type Limits struct {
 	// Timeout is the wall-clock budget for one call; 0 disables. The
 	// deadline starts when the Governor is created and is enforced even if
@@ -96,9 +103,15 @@ type Limits struct {
 	// MaxPlans bounds join-candidate sets enumerated during planning; 0
 	// disables.
 	MaxPlans int64
+	// Workers caps the intra-query parallelism of scans, joins, and plan
+	// enumeration. 0 selects runtime.GOMAXPROCS(0); 1 forces the serial
+	// code paths. Workers is a degree, not a budget: it does not make
+	// Enforced report true.
+	Workers int
 }
 
-// Enforced reports whether any limit is set.
+// Enforced reports whether any budget limit is set (Workers is a
+// parallelism degree, not a budget, and does not count).
 func (l Limits) Enforced() bool {
 	return l.Timeout > 0 || l.MaxTuples > 0 || l.MaxRows > 0 || l.MaxPlans > 0
 }
@@ -107,17 +120,17 @@ func (l Limits) Enforced() bool {
 const checkInterval = 1024
 
 // Governor tracks one query's resource consumption against its limits.
-// It is used from a single goroutine (one query = one execution thread);
-// concurrent queries each get their own Governor.
+// All methods are safe for concurrent use: parallel operator workers share
+// one Governor per query, and concurrent queries each get their own.
 type Governor struct {
 	ctx        context.Context
 	limits     Limits
 	deadline   time.Time
 	start      time.Time
-	tuples     int64
-	rows       int64
-	plans      int64
-	sinceCheck int
+	tuples     atomic.Int64
+	rows       atomic.Int64
+	plans      atomic.Int64
+	sinceCheck atomic.Int64
 }
 
 // New creates a governor for one query. ctx may be nil (treated as
@@ -140,6 +153,15 @@ func (g *Governor) Context() context.Context {
 		return context.Background()
 	}
 	return g.ctx
+}
+
+// Workers returns the configured parallelism degree (0 for a nil governor
+// or an unset limit, meaning "use the default").
+func (g *Governor) Workers() int {
+	if g == nil {
+		return 0
+	}
+	return g.limits.Workers
 }
 
 // Err polls cancellation and the wall-clock budget immediately, mapping
@@ -171,13 +193,15 @@ func (g *Governor) wallClockError() error {
 	return &BudgetError{Resource: "wall-clock", Limit: limit, Used: int64(time.Since(g.start))}
 }
 
-// poll amortizes Err over checkInterval ticks.
+// poll amortizes Err over checkInterval ticks. The since-last-check
+// counter is shared across goroutines; the exact poll cadence under
+// concurrency is approximate, which is fine — polling exists only to bound
+// cancellation latency, not for accounting.
 func (g *Governor) poll() error {
-	g.sinceCheck++
-	if g.sinceCheck < checkInterval {
+	if g.sinceCheck.Add(1) < checkInterval {
 		return nil
 	}
-	g.sinceCheck = 0
+	g.sinceCheck.Store(0)
 	return g.Err()
 }
 
@@ -186,9 +210,9 @@ func (g *Governor) TickTuples(n int64) error {
 	if g == nil {
 		return nil
 	}
-	g.tuples += n
-	if g.limits.MaxTuples > 0 && g.tuples > g.limits.MaxTuples {
-		return &BudgetError{Resource: "tuples", Limit: g.limits.MaxTuples, Used: g.tuples}
+	used := g.tuples.Add(n)
+	if g.limits.MaxTuples > 0 && used > g.limits.MaxTuples {
+		return &BudgetError{Resource: "tuples", Limit: g.limits.MaxTuples, Used: used}
 	}
 	return g.poll()
 }
@@ -198,9 +222,9 @@ func (g *Governor) TickRows(n int64) error {
 	if g == nil {
 		return nil
 	}
-	g.rows += n
-	if g.limits.MaxRows > 0 && g.rows > g.limits.MaxRows {
-		return &BudgetError{Resource: "rows", Limit: g.limits.MaxRows, Used: g.rows}
+	used := g.rows.Add(n)
+	if g.limits.MaxRows > 0 && used > g.limits.MaxRows {
+		return &BudgetError{Resource: "rows", Limit: g.limits.MaxRows, Used: used}
 	}
 	return g.poll()
 }
@@ -210,9 +234,9 @@ func (g *Governor) TickPlans(n int64) error {
 	if g == nil {
 		return nil
 	}
-	g.plans += n
-	if g.limits.MaxPlans > 0 && g.plans > g.limits.MaxPlans {
-		return &BudgetError{Resource: "plans", Limit: g.limits.MaxPlans, Used: g.plans}
+	used := g.plans.Add(n)
+	if g.limits.MaxPlans > 0 && used > g.limits.MaxPlans {
+		return &BudgetError{Resource: "plans", Limit: g.limits.MaxPlans, Used: used}
 	}
 	return g.poll()
 }
@@ -222,5 +246,5 @@ func (g *Governor) Usage() (tuples, rows, plans int64) {
 	if g == nil {
 		return 0, 0, 0
 	}
-	return g.tuples, g.rows, g.plans
+	return g.tuples.Load(), g.rows.Load(), g.plans.Load()
 }

@@ -3,6 +3,8 @@ package governor
 import (
 	"context"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -123,6 +125,76 @@ func TestEnforced(t *testing.T) {
 	}
 	if !(Limits{MaxTuples: 1}).Enforced() {
 		t.Fatal("MaxTuples must count as enforced")
+	}
+	if (Limits{Workers: 8}).Enforced() {
+		t.Fatal("Workers is a parallelism degree, not a budget")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	var nilGov *Governor
+	if nilGov.Workers() != 0 {
+		t.Fatal("nil governor must report 0 (default) workers")
+	}
+	if got := New(context.Background(), Limits{Workers: 3}).Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+}
+
+// Concurrent ticking from many goroutines must account every tuple exactly
+// once: parallel operator workers share one governor per query.
+func TestConcurrentTickAccountingExact(t *testing.T) {
+	const goroutines, ticks = 8, 5000
+	g := New(context.Background(), Limits{})
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ticks; i++ {
+				g.TickTuples(1)
+				g.TickRows(1)
+				g.TickPlans(1)
+			}
+		}()
+	}
+	wg.Wait()
+	tu, ro, pl := g.Usage()
+	if want := int64(goroutines * ticks); tu != want || ro != want || pl != want {
+		t.Fatalf("usage = %d %d %d, want %d each", tu, ro, pl, want)
+	}
+}
+
+// When concurrent workers overrun a budget, at least one of them must see
+// the typed budget error — the single stop decision is then made by the
+// pool that drains them.
+func TestConcurrentBudgetTripsOnce(t *testing.T) {
+	const goroutines = 8
+	g := New(context.Background(), Limits{MaxTuples: 1000})
+	var wg sync.WaitGroup
+	var tripped atomic.Int64
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := g.TickTuples(1); err != nil {
+					if !errors.Is(err, ErrBudgetExceeded) {
+						t.Errorf("want ErrBudgetExceeded, got %v", err)
+					}
+					tripped.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tripped.Load() == 0 {
+		t.Fatal("budget overrun never detected by any worker")
+	}
+	tu, _, _ := g.Usage()
+	if want := int64(1000 + goroutines); tu > want {
+		t.Fatalf("tuples charged = %d; overshoot must be bounded by worker count (≤ %d)", tu, want)
 	}
 }
 

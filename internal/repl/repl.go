@@ -96,8 +96,9 @@ func (p *Processor) help() error {
   stats <name>                              show a table's statistics
   algo <name>                               set the estimation algorithm
   algos                                     list algorithms
-  limits [timeout=D] [tuples=N] [rows=N] [plans=N]
-                                            set per-query budgets ("limits off" clears)
+  limits [timeout=D] [tuples=N] [rows=N] [plans=N] [workers=N]
+                                            set per-query budgets and parallelism
+                                            ("limits off" clears)
   estimate <sql>                            estimate without executing
   explain <sql>                             show closure + plan + estimates
   analyze <sql>                             execute and show est-vs-actual per node
@@ -129,12 +130,12 @@ func (p *Processor) setAlgo(args []string) error {
 func (p *Processor) limits(args []string) error {
 	if len(args) == 0 {
 		l := p.sys.Limits()
-		if !l.Enforced() {
+		if !l.Enforced() && l.Workers == 0 {
 			p.printf("no limits\n")
 			return nil
 		}
-		p.printf("timeout=%s tuples=%d rows=%d plans=%d\n",
-			l.Timeout, l.MaxTuples, l.MaxRows, l.MaxPlans)
+		p.printf("timeout=%s tuples=%d rows=%d plans=%d workers=%d\n",
+			l.Timeout, l.MaxTuples, l.MaxRows, l.MaxPlans, l.Workers)
 		return nil
 	}
 	if len(args) == 1 && strings.EqualFold(args[0], "off") {
@@ -157,7 +158,7 @@ func (p *Processor) limits(args []string) error {
 				return nil
 			}
 			l.Timeout = d
-		case "tuples", "rows", "plans":
+		case "tuples", "rows", "plans", "workers":
 			n, err := strconv.ParseInt(parts[1], 10, 64)
 			if err != nil {
 				p.printf("bad %s limit %q\n", parts[0], parts[1])
@@ -170,15 +171,17 @@ func (p *Processor) limits(args []string) error {
 				l.MaxRows = n
 			case "plans":
 				l.MaxPlans = n
+			case "workers":
+				l.Workers = int(n)
 			}
 		default:
-			p.printf("unknown limit %q (want timeout, tuples, rows, plans)\n", parts[0])
+			p.printf("unknown limit %q (want timeout, tuples, rows, plans, workers)\n", parts[0])
 			return nil
 		}
 	}
 	p.sys.SetLimits(l)
-	p.printf("limits set: timeout=%s tuples=%d rows=%d plans=%d\n",
-		l.Timeout, l.MaxTuples, l.MaxRows, l.MaxPlans)
+	p.printf("limits set: timeout=%s tuples=%d rows=%d plans=%d workers=%d\n",
+		l.Timeout, l.MaxTuples, l.MaxRows, l.MaxPlans, l.Workers)
 	return nil
 }
 

@@ -242,6 +242,49 @@ func (t *Table) SortedIndices(col int) []int {
 	return idx
 }
 
+// AppendTable appends every row of src to t by concatenating the column
+// storage directly, without boxing values row by row. The schemas must
+// have the same column count and types (names may differ). Parallel
+// operators use it to stitch per-chunk outputs back into one table in
+// chunk order.
+func (t *Table) AppendTable(src *Table) error {
+	if src.schema.NumColumns() != t.schema.NumColumns() {
+		return fmt.Errorf("storage: append %d-column table to %d-column table",
+			src.schema.NumColumns(), t.schema.NumColumns())
+	}
+	for i, c := range t.cols {
+		if src.cols[i].typ != c.typ {
+			return fmt.Errorf("storage: column %d type mismatch: %s vs %s",
+				i, src.cols[i].typ, c.typ)
+		}
+	}
+	for i, c := range t.cols {
+		sc := src.cols[i]
+		if c.nulls == nil && sc.nulls != nil {
+			c.nulls = make([]bool, c.length(), c.length()+sc.length())
+		}
+		if c.nulls != nil {
+			if sc.nulls != nil {
+				c.nulls = append(c.nulls, sc.nulls...)
+			} else {
+				c.nulls = append(c.nulls, make([]bool, sc.length())...)
+			}
+		}
+		switch c.typ {
+		case TypeInt64:
+			c.ints = append(c.ints, sc.ints...)
+		case TypeFloat64:
+			c.floats = append(c.floats, sc.floats...)
+		case TypeString:
+			c.strs = append(c.strs, sc.strs...)
+		case TypeBool:
+			c.bools = append(c.bools, sc.bools...)
+		}
+	}
+	t.rows += src.rows
+	return nil
+}
+
 // Rename returns a shallow copy of the table under a new name; the column
 // data is shared. Useful for self-joins and aliases.
 func (t *Table) Rename(name string) *Table {

@@ -282,3 +282,62 @@ func TestNullOfWrongDeclaredType(t *testing.T) {
 		t.Error("stored NULL should carry the column type")
 	}
 }
+
+func TestAppendTable(t *testing.T) {
+	schema := MustSchema(
+		ColumnDef{Name: "k", Type: TypeInt64},
+		ColumnDef{Name: "s", Type: TypeString},
+	)
+	a := NewTable("a", schema)
+	a.MustAppendRow(Int64(1), String64("x"))
+	a.MustAppendRow(Int64(2), Null(TypeString))
+	b := NewTable("b", schema)
+	b.MustAppendRow(Int64(3), String64("y"))
+	if err := a.AppendTable(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", a.NumRows())
+	}
+	if a.Value(2, 0).Int() != 3 || a.Value(2, 1).Str() != "y" {
+		t.Errorf("appended row wrong: %v %v", a.Value(2, 0), a.Value(2, 1))
+	}
+	if !a.Value(1, 1).IsNull() {
+		t.Error("pre-existing NULL lost")
+	}
+}
+
+func TestAppendTableNullsFromSource(t *testing.T) {
+	// Destination has no nulls bitmap yet; source does.
+	schema := MustSchema(ColumnDef{Name: "v", Type: TypeInt64})
+	a := NewTable("a", schema)
+	a.MustAppendRow(Int64(1))
+	b := NewTable("b", schema)
+	b.MustAppendRow(Null(TypeInt64))
+	b.MustAppendRow(Int64(5))
+	if err := a.AppendTable(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Value(0, 0).IsNull() {
+		t.Error("row 0 must stay non-NULL")
+	}
+	if !a.Value(1, 0).IsNull() {
+		t.Error("appended NULL lost")
+	}
+	if a.Value(2, 0).Int() != 5 {
+		t.Error("appended value lost")
+	}
+}
+
+func TestAppendTableTypeMismatch(t *testing.T) {
+	a := NewTable("a", MustSchema(ColumnDef{Name: "v", Type: TypeInt64}))
+	b := NewTable("b", MustSchema(ColumnDef{Name: "v", Type: TypeString}))
+	if err := a.AppendTable(b); err == nil {
+		t.Fatal("type mismatch must be rejected")
+	}
+	c := NewTable("c", MustSchema(
+		ColumnDef{Name: "v", Type: TypeInt64}, ColumnDef{Name: "w", Type: TypeInt64}))
+	if err := a.AppendTable(c); err == nil {
+		t.Fatal("column-count mismatch must be rejected")
+	}
+}

@@ -1,0 +1,156 @@
+package els
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/faultinject"
+)
+
+// parallelSystem builds a system whose tables are big enough that every
+// scan and join crosses the executor's parallel-chunk threshold, with
+// limits requesting 4 workers.
+func parallelSystem(t *testing.T) *System {
+	t.Helper()
+	sys := New()
+	for i, name := range []string{"A", "B", "C"} {
+		if err := sys.GenerateTable(name, "k", "uniform", 400, 20, 0, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.SetLimits(Limits{Workers: 4})
+	return sys
+}
+
+const parallelSQL = "SELECT COUNT(*) FROM A, B, C WHERE A.k = B.k AND B.k = C.k"
+
+// crossSQL has no join predicate, so the optimizer's only applicable
+// method is nested loops — the plan that drives the parallel join chunks
+// (the chain query above plans as serial sort-merge under the paper
+// repertoire).
+const crossSQL = "SELECT COUNT(*) FROM A, B"
+
+// Cancelling from another goroutine while worker goroutines are inside a
+// parallel join must end the query with a clean typed ErrCanceled: the
+// workers poll the shared governor, the pool stops dispatch, and Execute
+// returns after every worker exits.
+func TestParallelCancelMidJoin(t *testing.T) {
+	sys := New()
+	// Single-valued join columns: the query is a 120³ cross product, so
+	// there is ample runway for the cancel to land mid-join.
+	for _, name := range []string{"X", "Y", "Z"} {
+		if err := sys.GenerateTable(name, "k", "uniform", 120, 1, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.SetLimits(Limits{Workers: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	_, err := sys.QueryContext(ctx, "SELECT COUNT(*) FROM X, Y, Z WHERE X.k = Y.k AND Y.k = Z.k", AlgorithmELS)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+// A panic injected inside a parallel worker goroutine must cross the pool
+// (captured in the worker, re-raised on the caller) and surface as the
+// public API's typed ErrInternal — not kill the process.
+func TestParallelWorkerPanicBecomesErrInternal(t *testing.T) {
+	sys := parallelSystem(t)
+	faultinject.Enable(executor.PointJoinChunk, faultinject.Fault{PanicValue: "worker blew up", Times: 1})
+	defer faultinject.Reset()
+	_, err := sys.Query(crossSQL, AlgorithmELS)
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("want ErrInternal from a worker panic, got %v", err)
+	}
+	// The system stays usable afterwards.
+	if _, err := sys.Query(crossSQL, AlgorithmELS); err != nil {
+		t.Fatalf("query after worker panic: %v", err)
+	}
+}
+
+// Errors injected at the parallel chunk probes (inside worker goroutines)
+// must propagate as clean failures through the public API.
+func TestParallelWorkerFaultPropagates(t *testing.T) {
+	sys := parallelSystem(t)
+	for _, tc := range []struct {
+		point string
+		sql   string
+	}{
+		{executor.PointScanChunk, parallelSQL},
+		{executor.PointJoinChunk, crossSQL},
+	} {
+		boom := errors.New("injected: " + tc.point)
+		faultinject.Enable(tc.point, faultinject.Fault{Err: boom, Times: 1})
+		_, err := sys.Query(tc.sql, AlgorithmELS)
+		faultinject.Reset()
+		if !errors.Is(err, boom) {
+			t.Fatalf("point %s: want injected error, got %v", tc.point, err)
+		}
+	}
+}
+
+// The goroutine-leak fence: after a storm of parallel queries — successes,
+// cancellations, budget trips, injected faults, injected panics — the
+// process must return to its baseline goroutine count. A worker leaked by
+// any abort path would hold the count up.
+func TestParallelNoGoroutineLeaks(t *testing.T) {
+	sys := parallelSystem(t)
+	// Warm up once so lazily started runtime goroutines don't count as leaks.
+	if _, err := sys.Query(parallelSQL, AlgorithmELS); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0: // success
+				if _, err := sys.Query(parallelSQL, AlgorithmELS); err != nil {
+					t.Errorf("query %d: %v", i, err)
+				}
+			case 1: // immediate cancellation
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				if _, err := sys.QueryContext(ctx, parallelSQL, AlgorithmELS); !errors.Is(err, ErrCanceled) {
+					t.Errorf("query %d: want ErrCanceled, got %v", i, err)
+				}
+			case 2: // tuple budget trip inside the parallel operators
+				gsys := parallelSystem(t)
+				gsys.SetLimits(Limits{Workers: 4, MaxTuples: 50})
+				if _, err := gsys.Query(parallelSQL, AlgorithmELS); !errors.Is(err, ErrBudgetExceeded) {
+					t.Errorf("query %d: want ErrBudgetExceeded, got %v", i, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Injected fault and panic, serially, for the abort paths not covered
+	// above.
+	faultinject.Enable(executor.PointJoinChunk, faultinject.Fault{Err: fmt.Errorf("fence fault"), Times: 1})
+	sys.Query(parallelSQL, AlgorithmELS)
+	faultinject.Reset()
+	faultinject.Enable(executor.PointScanChunk, faultinject.Fault{PanicValue: "fence panic", Times: 1})
+	sys.Query(parallelSQL, AlgorithmELS)
+	faultinject.Reset()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before, %d after storm", before, runtime.NumGoroutine())
+}

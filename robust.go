@@ -32,8 +32,10 @@ var (
 	ErrInternal       = governor.ErrInternal
 )
 
-// Limits configures per-query resource budgets; see SetLimits. The zero
-// value enforces nothing.
+// Limits configures per-query resource budgets and the intra-query
+// parallelism degree (Limits.Workers; 0 = GOMAXPROCS, 1 = serial — results
+// are identical at any setting); see SetLimits. The zero value enforces
+// nothing.
 type Limits = governor.Limits
 
 // BudgetError details which resource budget a query exhausted.
