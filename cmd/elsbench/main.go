@@ -13,9 +13,15 @@
 // results and work counters are worker-invariant). -json additionally writes
 // a machine-readable report with per-experiment wall time, tuples scanned and
 // worker count.
+//
+// -max-concurrent and -queue-timeout route the run through the library's
+// admission controller (the layer serving systems use to shed load), so a
+// bench run competing with other work on the box fails fast with a typed
+// overload error instead of queueing forever.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,24 +29,29 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/experiment"
 	"repro/internal/governor"
 )
 
 func main() {
 	var (
-		which     = flag.String("experiment", "all", "experiment to run: all, section8, examples, indexed, chain, zipf, urn, sampled, independence, random")
-		scale     = flag.Int("scale", 1, "divide the Section 8 table sizes by this factor")
-		seed      = flag.Int64("seed", 42, "random seed for data generation")
-		estimates = flag.Bool("estimates-only", false, "skip data generation and execution (Section 8)")
-		workers   = flag.Int("workers", 0, "intra-query parallelism for executed experiments (0 = GOMAXPROCS, 1 = serial)")
-		jsonPath  = flag.String("json", "", "also write a machine-readable bench report to this path")
-		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+		which         = flag.String("experiment", "all", "experiment to run: all, section8, examples, indexed, chain, zipf, urn, sampled, independence, random")
+		scale         = flag.Int("scale", 1, "divide the Section 8 table sizes by this factor")
+		seed          = flag.Int64("seed", 42, "random seed for data generation")
+		estimates     = flag.Bool("estimates-only", false, "skip data generation and execution (Section 8)")
+		workers       = flag.Int("workers", 0, "intra-query parallelism for executed experiments (0 = GOMAXPROCS, 1 = serial)")
+		jsonPath      = flag.String("json", "", "also write a machine-readable bench report to this path")
+		timeout       = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "admission control: max concurrently admitted runs (0 = unlimited)")
+		queueTimeout  = flag.Duration("queue-timeout", 0, "admission control: max time the run waits for a slot (0 = forever)")
 	)
 	flag.Parse()
 	report := &experiment.BenchReport{Scale: *scale, Seed: *seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
-	err := withTimeout(*timeout, func() error {
-		return run(os.Stdout, *which, *scale, *seed, *estimates, *workers, report)
+	err := admitted(*maxConcurrent, *queueTimeout, func() error {
+		return withTimeout(*timeout, func() error {
+			return run(os.Stdout, *which, *scale, *seed, *estimates, *workers, report)
+		})
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "elsbench:", err)
@@ -53,6 +64,24 @@ func main() {
 		}
 		fmt.Fprintf(os.Stdout, "bench report written to %s\n", *jsonPath)
 	}
+}
+
+// admitted routes f through the library's admission controller when
+// -max-concurrent is set: the run acquires an execution slot first,
+// waiting at most queueTimeout, and sheds with a typed overload error if
+// the wait expires. With maxConcurrent ≤ 0 admission is disabled and f
+// runs directly.
+func admitted(maxConcurrent int, queueTimeout time.Duration, f func() error) error {
+	if maxConcurrent <= 0 {
+		return f()
+	}
+	adm := admission.New(admission.Config{MaxConcurrent: maxConcurrent, QueueTimeout: queueTimeout})
+	slot, err := adm.Acquire(context.Background())
+	if err != nil {
+		return err
+	}
+	defer slot.Release()
+	return f()
 }
 
 // withTimeout bounds f's wall-clock time, reporting overrun as the same

@@ -39,9 +39,14 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per explain (0 = none)")
 	maxPlans := flag.Int64("max-plans", 0, "enumerated-plan budget per explain (0 = none)")
 	workers := flag.Int("workers", 0, "plan-search parallelism (0 = GOMAXPROCS, 1 = serial)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission control: max concurrently executing explains (0 = unlimited)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "admission control: max time an explain waits for a slot (0 = forever)")
 	flag.Parse()
 
-	if err := run(tables, *sql, *algo, els.Limits{Timeout: *timeout, MaxPlans: *maxPlans, Workers: *workers}); err != nil {
+	if err := run(tables, *sql, *algo, els.Limits{
+		Timeout: *timeout, MaxPlans: *maxPlans, Workers: *workers,
+		MaxConcurrent: *maxConcurrent, QueueTimeout: *queueTimeout,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "elsexplain:", err)
 		os.Exit(1)
 	}

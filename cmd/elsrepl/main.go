@@ -11,14 +11,18 @@
 // -timeout, -max-tuples, -max-rows, and -max-plans, or at runtime with the
 // "limits" command inside the shell. -workers (or "limits workers=N") sets
 // the intra-query parallelism; results are identical at any setting.
+// -max-concurrent and -queue-timeout configure admission control for
+// sessions that share the system with other work.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	els "repro"
 	"repro/internal/repl"
@@ -30,13 +34,17 @@ func main() {
 	maxRows := flag.Int64("max-rows", 0, "per-query materialized-row budget (0 = none)")
 	maxPlans := flag.Int64("max-plans", 0, "per-query enumerated-plan budget (0 = none)")
 	workers := flag.Int("workers", 0, "intra-query parallelism (0 = GOMAXPROCS, 1 = serial)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission control: max concurrently executing queries (0 = unlimited)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "admission control: max time a query waits for a slot (0 = forever)")
 	flag.Parse()
 	limits := els.Limits{
-		Timeout:   *timeout,
-		MaxTuples: *maxTuples,
-		MaxRows:   *maxRows,
-		MaxPlans:  *maxPlans,
-		Workers:   *workers,
+		Timeout:       *timeout,
+		MaxTuples:     *maxTuples,
+		MaxRows:       *maxRows,
+		MaxPlans:      *maxPlans,
+		Workers:       *workers,
+		MaxConcurrent: *maxConcurrent,
+		QueueTimeout:  *queueTimeout,
 	}
 	if err := run(os.Stdin, os.Stdout, limits, isTerminal()); err != nil {
 		fmt.Fprintln(os.Stderr, "elsrepl:", err)
@@ -47,12 +55,13 @@ func main() {
 // run drives one REPL session reading commands from in and writing results
 // to out. It returns only on input exhaustion, a "quit" command, or an I/O
 // error; per-command failures are reported to out and the session
-// continues.
+// continues. A final line not terminated by a newline (mid-line EOF — a
+// script missing its trailing newline, or ^D typed after a command) is
+// executed before the session ends cleanly.
 func run(in io.Reader, out io.Writer, limits els.Limits, interactive bool) error {
 	p := repl.New(out)
 	p.System().SetLimits(limits)
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	r := bufio.NewReader(in)
 	if interactive {
 		fmt.Fprintln(out, "els repl — type 'help' for commands")
 	}
@@ -60,18 +69,23 @@ func run(in io.Reader, out io.Writer, limits els.Limits, interactive bool) error
 		if interactive {
 			fmt.Fprint(out, "els> ")
 		}
-		if !sc.Scan() {
-			break
+		line, err := r.ReadString('\n')
+		if line != "" {
+			quit, eerr := p.Execute(strings.TrimRight(line, "\r\n"))
+			if eerr != nil {
+				return eerr
+			}
+			if quit {
+				return nil
+			}
 		}
-		quit, err := p.Execute(sc.Text())
 		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
 			return err
 		}
-		if quit {
-			break
-		}
 	}
-	return sc.Err()
 }
 
 // isTerminal reports whether stdin looks interactive (best-effort, stdlib

@@ -61,6 +61,83 @@ func TestErrorsDoNotAbortSession(t *testing.T) {
 	}
 }
 
+// A script whose final line has no trailing newline (mid-line EOF) still
+// executes that line, and the session ends cleanly instead of erroring or
+// dropping the command.
+func TestMidLineEOFExecutesFinalCommand(t *testing.T) {
+	script := "declare R 1000 x=100\ntables" // no trailing newline
+	var out strings.Builder
+	if err := run(strings.NewReader(script), &out, els.Limits{}, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "R  card=1000") {
+		t.Errorf("final unterminated command did not run:\n%s", out.String())
+	}
+}
+
+// Malformed limits arguments — negative values, missing values, unknown
+// keys, bad durations — are reported with a usage hint and leave both the
+// session and the previously set limits intact.
+func TestMalformedLimitsArgs(t *testing.T) {
+	script := strings.Join([]string{
+		"limits tuples=5",
+		"limits tuples=-3",        // negative
+		"limits tuples=",          // missing value
+		"limits nonsense",         // not key=value
+		"limits frobs=7",          // unknown key
+		"limits queue-timeout=3x", // bad duration
+		"limits",                  // prior setting must survive the noise
+	}, "\n")
+	var out strings.Builder
+	if err := run(strings.NewReader(script), &out, els.Limits{}, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"tuples must not be negative",
+		`malformed limit "tuples="`,
+		`malformed limit "nonsense"`,
+		`unknown limit "frobs"`,
+		`bad queue-timeout "3x"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "usage: limits") < 4 {
+		t.Errorf("malformed args should print the usage hint:\n%s", got)
+	}
+	if !strings.Contains(got, "tuples=5") {
+		t.Errorf("valid limit lost after malformed attempts:\n%s", got)
+	}
+}
+
+// Admission limits are settable from the shell and visible in the serving
+// counters; an admission-controlled scripted session still executes
+// queries (they serialize instead of shedding).
+func TestAdmissionLimitsInSession(t *testing.T) {
+	script := strings.Join([]string{
+		"gen R x uniform 50 1 seed=1",
+		"limits max-concurrent=1 max-queue=2 queue-timeout=1s",
+		"SELECT COUNT(*) FROM R",
+		"serving",
+	}, "\n")
+	var out strings.Builder
+	if err := run(strings.NewReader(script), &out, els.Limits{}, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "max-concurrent=1 max-queue=2 queue-timeout=1s") {
+		t.Errorf("admission limits not echoed:\n%s", got)
+	}
+	if !strings.Contains(got, "50 row(s)") {
+		t.Errorf("query under admission control failed:\n%s", got)
+	}
+	if !strings.Contains(got, "admitted=1") || !strings.Contains(got, "catalog version:") {
+		t.Errorf("serving counters missing:\n%s", got)
+	}
+}
+
 // Budgets passed via flags govern queries, and the limits command can
 // inspect and clear them mid-session.
 func TestLimitsGovernSession(t *testing.T) {

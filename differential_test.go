@@ -2,7 +2,9 @@ package els
 
 import (
 	"context"
+	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/cardest"
 	"repro/internal/catalog"
@@ -111,6 +113,66 @@ func assertSameRows(t *testing.T, seed int64, q querygen.Query, a, b *storage.Ta
 				t.Fatalf("seed %d (%s): result differs at row %d col %d: %s vs %s",
 					seed, q, r, c, a.Value(r, c), b.Value(r, c))
 			}
+		}
+	}
+}
+
+// Admission control must be invisible to a single serial client: the same
+// SQL with admission off vs MaxConcurrent=1 (every query waits for the one
+// slot) returns bit-identical counts and work counters, and the estimates
+// agree too. Admission gates *when* a query runs, never *what* it computes.
+func TestDifferentialAdmissionOnOff(t *testing.T) {
+	queries := []string{
+		"SELECT COUNT(*) FROM R, S WHERE R.a = S.a AND R.b < 5",
+		"SELECT COUNT(*) FROM R, S WHERE R.a = S.a",
+		"SELECT COUNT(*) FROM R WHERE R.b < 3",
+	}
+	run := func(limits Limits) ([]*Result, []*Estimate) {
+		sys := New()
+		mkRows := func(n, dom int) [][]int64 {
+			rows := make([][]int64, n)
+			for i := range rows {
+				rows[i] = []int64{int64(i % dom), int64(i % 7)}
+			}
+			return rows
+		}
+		if err := sys.LoadTable("R", []string{"a", "b"}, mkRows(200, 10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.LoadTable("S", []string{"a", "c"}, mkRows(300, 10)); err != nil {
+			t.Fatal(err)
+		}
+		sys.SetLimits(limits)
+		var results []*Result
+		var ests []*Estimate
+		for _, sql := range queries {
+			res, err := sys.Query(sql, AlgorithmELS)
+			if err != nil {
+				t.Fatalf("%q: %v", sql, err)
+			}
+			est, err := sys.Estimate(sql, AlgorithmELS)
+			if err != nil {
+				t.Fatalf("%q: estimate: %v", sql, err)
+			}
+			results = append(results, res)
+			ests = append(ests, est)
+		}
+		return results, ests
+	}
+	off, offEst := run(Limits{})
+	on, onEst := run(Limits{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: time.Minute})
+	for i, sql := range queries {
+		if on[i].Count != off[i].Count ||
+			on[i].TuplesScanned != off[i].TuplesScanned ||
+			on[i].Comparisons != off[i].Comparisons ||
+			!reflect.DeepEqual(on[i].Rows, off[i].Rows) {
+			t.Errorf("%q: admission on (count %d, tuples %d, cmp %d) vs off (%d, %d, %d)",
+				sql, on[i].Count, on[i].TuplesScanned, on[i].Comparisons,
+				off[i].Count, off[i].TuplesScanned, off[i].Comparisons)
+		}
+		if onEst[i].FinalSize != offEst[i].FinalSize {
+			t.Errorf("%q: estimate %v (admission on) vs %v (off)",
+				sql, onEst[i].FinalSize, offEst[i].FinalSize)
 		}
 	}
 }

@@ -27,16 +27,20 @@ package els
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/admission"
 	"repro/internal/cardest"
 	"repro/internal/catalog"
 	"repro/internal/csvload"
 	"repro/internal/datagen"
 	"repro/internal/selest"
+	"repro/internal/snapshot"
 	"repro/internal/storage"
 )
 
@@ -128,16 +132,60 @@ func Algorithms() []Algorithm {
 
 // System is a self-contained instance: catalog, optional data tables, and
 // the estimation/planning/execution pipeline.
+//
+// A System serves concurrent callers. Every query pins an immutable
+// copy-on-write catalog snapshot at admission, so statistics refresh
+// (DeclareStats, ImportStats, LoadTable, ...) never blocks or corrupts
+// in-flight estimation: a query sees exactly one published catalog
+// version end to end, and Estimate.CatalogVersion reports which. The
+// admission fields of Limits (MaxConcurrent, MaxQueue, QueueTimeout)
+// bound concurrency and shed load with ErrOverloaded; SetRetryPolicy and
+// SetBreaker add opt-in retry and circuit-breaking; Close drains the
+// system. RobustnessStats observes all of it.
 type System struct {
-	cat *catalog.Catalog
+	store   *snapshot.Store       // versioned COW catalog
+	adm     *admission.Controller // concurrency gate + drain
+	breaker *admission.Breaker    // consecutive-internal-error circuit breaker
 
 	mu     sync.RWMutex
 	limits Limits // default per-query resource budgets (zero: ungoverned)
+
+	retry    RetryPolicy // opt-in transient-error retry (zero: off)
+	retryRng *rand.Rand  // seeded jitter source, guarded by retryMu
+	retryMu  sync.Mutex
+
+	retries        atomic.Uint64 // retry attempts performed
+	retrySuccesses atomic.Uint64 // queries that succeeded after ≥1 retry
 }
 
 // New creates an empty system.
 func New() *System {
-	return &System{cat: catalog.New()}
+	return &System{
+		store:   snapshot.NewStore(catalog.New()),
+		adm:     admission.New(admission.Config{}),
+		breaker: admission.NewBreaker(admission.BreakerConfig{}),
+	}
+}
+
+// catalogNow returns the latest published catalog for metadata accessors.
+// Queries must not use it: they pin a snapshot at admission instead.
+func (s *System) catalogNow() *catalog.Catalog {
+	return s.store.Current().Catalog()
+}
+
+// CatalogVersion returns the currently published catalog version. Versions
+// start at 1 and advance by one on every successful catalog mutation.
+func (s *System) CatalogVersion() uint64 { return s.store.Version() }
+
+// mutate routes a catalog mutation through the copy-on-write store: the
+// mutation runs on a clone and publishes a new catalog version atomically,
+// or publishes nothing at all if it fails. Mutations are rejected once the
+// system is closed.
+func (s *System) mutate(fn func(*catalog.Catalog) error) error {
+	if s.adm.Closed() {
+		return fmt.Errorf("%w: catalog is read-only", ErrClosed)
+	}
+	return s.store.Mutate(fn)
 }
 
 // DeclareStats registers a table by statistics only (no data): rows is the
@@ -152,7 +200,9 @@ func (s *System) DeclareStats(name string, rows float64, distinct map[string]flo
 	if rows < 0 {
 		return fmt.Errorf("%w: negative cardinality %g for table %s", ErrBadStats, rows, name)
 	}
-	return s.cat.AddTable(catalog.SimpleTable(name, rows, distinct))
+	return s.mutate(func(cat *catalog.Catalog) error {
+		return cat.AddTable(catalog.SimpleTable(name, rows, distinct))
+	})
 }
 
 // MustDeclareStats is DeclareStats but panics on error.
@@ -206,8 +256,10 @@ func (s *System) loadTable(name string, columns []string, rows [][]int64, opts c
 			return fmt.Errorf("els: %w", err)
 		}
 	}
-	_, err = s.cat.Analyze(tbl, opts)
-	return err
+	return s.mutate(func(cat *catalog.Catalog) error {
+		_, err := cat.Analyze(tbl, opts)
+		return err
+	})
 }
 
 // LoadCSV reads a CSV file into a new table (types inferred per column:
@@ -237,8 +289,10 @@ func (s *System) loadCSVReader(name string, r io.Reader, header bool, histBucket
 	if histBuckets > 0 {
 		opts = catalog.AnalyzeOptions{HistogramBuckets: histBuckets, HistogramKind: catalog.EquiDepth}
 	}
-	_, err = s.cat.Analyze(tbl, opts)
-	return err
+	return s.mutate(func(cat *catalog.Catalog) error {
+		_, err := cat.Analyze(tbl, opts)
+		return err
+	})
 }
 
 // GenerateTable synthesizes and loads a table whose named column follows
@@ -271,8 +325,10 @@ func (s *System) GenerateTable(name, column, dist string, rows, domain int, thet
 	if err != nil {
 		return err
 	}
-	_, err = s.cat.Analyze(tbl, catalog.AnalyzeOptions{})
-	return err
+	return s.mutate(func(cat *catalog.Catalog) error {
+		_, err := cat.Analyze(tbl, catalog.AnalyzeOptions{})
+		return err
+	})
 }
 
 // BuildIndex constructs an ordered index over a loaded table's column.
@@ -280,28 +336,39 @@ func (s *System) GenerateTable(name, column, dist string, rows, domain int, thet
 // index-nested-loops join method, which probes the index once per outer
 // row instead of rescanning the inner table.
 func (s *System) BuildIndex(table, column string) error {
-	return s.cat.BuildIndex(table, column)
+	return s.mutate(func(cat *catalog.Catalog) error {
+		return cat.BuildIndex(table, column)
+	})
 }
 
 // ExportStats writes the catalog's statistics as JSON (data and indexes
 // are not serialized) — a portable artifact for sharing optimizer
-// statistics between runs and tools.
-func (s *System) ExportStats(w io.Writer) error { return s.cat.ExportJSON(w) }
+// statistics between runs and tools. The format carries a version header
+// and per-table checksums so a truncated or corrupted file is rejected at
+// import time.
+func (s *System) ExportStats(w io.Writer) error { return s.catalogNow().ExportJSON(w) }
 
 // ImportStats loads statistics previously written by ExportStats,
-// replacing same-named tables.
-func (s *System) ImportStats(r io.Reader) error { return s.cat.ImportJSON(r) }
+// replacing same-named tables. The import is all-or-nothing: a truncated
+// or corrupted file fails with ErrBadStats and publishes no new catalog
+// version, so in-flight and subsequent queries never see a half-imported
+// catalog.
+func (s *System) ImportStats(r io.Reader) error {
+	return s.mutate(func(cat *catalog.Catalog) error {
+		return cat.ImportJSON(r)
+	})
+}
 
 // Tables returns the registered table names in registration order.
-func (s *System) Tables() []string { return s.cat.TableNames() }
+func (s *System) Tables() []string { return s.catalogNow().TableNames() }
 
-// hasAnyIndex reports whether any index has been built, which switches the
-// optimizer repertoire to include IndexNL.
-func (s *System) hasAnyIndex() bool {
-	for _, name := range s.cat.TableNames() {
-		ts := s.cat.Table(name)
+// hasAnyIndex reports whether any index has been built in cat, which
+// switches the optimizer repertoire to include IndexNL.
+func hasAnyIndex(cat *catalog.Catalog) bool {
+	for _, name := range cat.TableNames() {
+		ts := cat.Table(name)
 		for _, cs := range ts.Columns {
-			if s.cat.HasIndex(name, cs.Name) {
+			if cat.HasIndex(name, cs.Name) {
 				return true
 			}
 		}
@@ -311,7 +378,7 @@ func (s *System) hasAnyIndex() bool {
 
 // TableCard returns the cardinality statistic of a table.
 func (s *System) TableCard(name string) (float64, error) {
-	ts := s.cat.Table(name)
+	ts := s.catalogNow().Table(name)
 	if ts == nil {
 		return 0, fmt.Errorf("els: unknown table %q", name)
 	}
@@ -320,7 +387,7 @@ func (s *System) TableCard(name string) (float64, error) {
 
 // TableColumns returns the column names of a registered table (sorted).
 func (s *System) TableColumns(name string) ([]string, error) {
-	ts := s.cat.Table(name)
+	ts := s.catalogNow().Table(name)
 	if ts == nil {
 		return nil, fmt.Errorf("els: unknown table %q", name)
 	}
@@ -334,7 +401,7 @@ func (s *System) TableColumns(name string) ([]string, error) {
 
 // ColumnDistinct returns the column cardinality statistic d of a column.
 func (s *System) ColumnDistinct(table, column string) (float64, error) {
-	ts := s.cat.Table(table)
+	ts := s.catalogNow().Table(table)
 	if ts == nil {
 		return 0, fmt.Errorf("els: unknown table %q", table)
 	}

@@ -1,0 +1,306 @@
+// Package admission bounds how many queries a system serves at once and
+// sheds load when the box is saturated.
+//
+// The Controller is a semaphore plus a deadline queue. A query calls
+// Acquire before doing any work: if a slot is free it is admitted
+// immediately; otherwise it waits until a slot frees, its queue deadline
+// (Config.QueueTimeout) elapses, its own context dies, or the waiting
+// queue is already full (Config.MaxQueue) — the latter two shed the query
+// with governor.ErrOverloaded so callers can distinguish "the system is
+// busy, resubmit later" from a failure of the query itself.
+//
+// Every admitted query runs under a controller-owned cancelable context,
+// which is what makes graceful drain possible: Close stops admitting
+// (subsequent Acquires fail fast with governor.ErrClosed), waits for
+// in-flight queries to finish, and when its own context expires cancels
+// the stragglers' contexts so they abort with ErrCanceled within a bounded
+// number of governor ticks. After Close returns, zero queries are in
+// flight.
+//
+// Slot accounting is exact: every Acquire that returns a nil error is
+// balanced by exactly one Release, and the chaos soak harness asserts the
+// balance across thousands of concurrent admissions, sheds, and drains.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/governor"
+)
+
+// Config bounds concurrency and queueing. The zero value admits everything
+// immediately (no limits), which is the fast path for single-client use.
+type Config struct {
+	// MaxConcurrent caps admitted queries; 0 disables admission control.
+	MaxConcurrent int
+	// MaxQueue caps waiting queries; 0 means unbounded.
+	MaxQueue int
+	// QueueTimeout sheds queries that wait longer than this; 0 waits
+	// until the query's own context dies.
+	QueueTimeout time.Duration
+}
+
+// Stats is a point-in-time snapshot of the controller's counters.
+type Stats struct {
+	// Admitted counts queries that got a slot (including ones still
+	// running).
+	Admitted uint64
+	// ShedQueueFull and ShedQueueTimeout count queries shed because the
+	// waiting queue was full or the queue deadline elapsed.
+	ShedQueueFull, ShedQueueTimeout uint64
+	// RejectedClosed counts queries refused because the system was closed.
+	RejectedClosed uint64
+	// CanceledWaiting counts queries whose own context died while queued.
+	CanceledWaiting uint64
+	// QueueWait is the cumulative time admitted queries spent waiting.
+	QueueWait time.Duration
+	// InFlight and Waiting are current gauges.
+	InFlight, Waiting int
+}
+
+// Slot is one admission: the token an admitted query holds while it runs.
+type Slot struct {
+	c        *Controller
+	ctx      context.Context
+	cancel   context.CancelFunc
+	id       uint64
+	waited   time.Duration
+	released bool
+	mu       sync.Mutex
+}
+
+// Context is the query's serving context: the caller's context wrapped
+// with controller-owned cancellation so drain can abort stragglers.
+func (s *Slot) Context() context.Context { return s.ctx }
+
+// Waited is how long the query queued before admission.
+func (s *Slot) Waited() time.Duration { return s.waited }
+
+// Release frees the slot. It is idempotent, so a deferred Release is safe
+// even on panic paths.
+func (s *Slot) Release() {
+	s.mu.Lock()
+	if s.released {
+		s.mu.Unlock()
+		return
+	}
+	s.released = true
+	s.mu.Unlock()
+	s.cancel()
+	s.c.release(s.id)
+}
+
+// Controller is the admission gate of one system. The zero Controller is
+// not ready; use New.
+type Controller struct {
+	mu       sync.Mutex
+	cfg      Config
+	inflight int
+	waiting  int
+	closed   bool
+	changed  chan struct{} // closed+replaced whenever a waiter should recheck
+	drained  chan struct{} // closed once closed && inflight == 0
+	cancels  map[uint64]context.CancelFunc
+	nextID   uint64
+
+	admitted        uint64
+	shedFull        uint64
+	shedTimeout     uint64
+	rejectedClosed  uint64
+	canceledWaiting uint64
+	queueWaitNanos  int64
+}
+
+// New creates a controller with the given config.
+func New(cfg Config) *Controller {
+	return &Controller{
+		cfg:     cfg,
+		changed: make(chan struct{}),
+		drained: make(chan struct{}),
+		cancels: make(map[uint64]context.CancelFunc),
+	}
+}
+
+// SetConfig replaces the admission limits. Growing MaxConcurrent wakes
+// waiters; shrinking it never evicts already-admitted queries.
+func (c *Controller) SetConfig(cfg Config) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg = cfg
+	c.broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (c *Controller) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// broadcast wakes every waiter to recheck admission. Callers hold c.mu.
+func (c *Controller) broadcast() {
+	close(c.changed)
+	c.changed = make(chan struct{})
+}
+
+// admitLocked books one admission. Callers hold c.mu.
+func (c *Controller) admitLocked(ctx context.Context, waited time.Duration) *Slot {
+	c.inflight++
+	c.admitted++
+	c.queueWaitNanos += int64(waited)
+	c.nextID++
+	id := c.nextID
+	sctx, cancel := context.WithCancel(ctx)
+	c.cancels[id] = cancel
+	return &Slot{c: c, ctx: sctx, cancel: cancel, id: id, waited: waited}
+}
+
+// Acquire admits the query or sheds it. On success the returned Slot must
+// be Released exactly once (Release is idempotent). The error taxonomy:
+// governor.ErrClosed after Close, governor.ErrOverloaded (as a
+// *governor.OverloadError) when shed, governor.ErrCanceled (or the
+// wall-clock BudgetError) when the caller's own context dies while queued.
+func (c *Controller) Acquire(ctx context.Context) (*Slot, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	var timeout <-chan time.Time
+	c.mu.Lock()
+	if !c.closed && c.cfg.MaxConcurrent <= 0 {
+		// Fast path: admission control off.
+		s := c.admitLocked(ctx, 0)
+		c.mu.Unlock()
+		return s, nil
+	}
+	if qt := c.cfg.QueueTimeout; qt > 0 {
+		t := time.NewTimer(qt)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for {
+		if c.closed {
+			c.rejectedClosed++
+			c.mu.Unlock()
+			return nil, fmt.Errorf("%w: draining, not admitting new queries", governor.ErrClosed)
+		}
+		cfg := c.cfg
+		if cfg.MaxConcurrent <= 0 || c.inflight < cfg.MaxConcurrent {
+			s := c.admitLocked(ctx, time.Since(start))
+			c.mu.Unlock()
+			return s, nil
+		}
+		if cfg.MaxQueue > 0 && c.waiting >= cfg.MaxQueue {
+			c.shedFull++
+			c.mu.Unlock()
+			return nil, &governor.OverloadError{
+				Reason: "queue full", MaxConcurrent: cfg.MaxConcurrent, MaxQueue: cfg.MaxQueue,
+			}
+		}
+		c.waiting++
+		ch := c.changed
+		c.mu.Unlock()
+		select {
+		case <-ch:
+			c.mu.Lock()
+			c.waiting--
+		case <-timeout:
+			c.mu.Lock()
+			c.waiting--
+			c.shedTimeout++
+			c.mu.Unlock()
+			return nil, &governor.OverloadError{
+				Reason: "queue timeout", MaxConcurrent: cfg.MaxConcurrent, MaxQueue: cfg.MaxQueue,
+				Waited: time.Since(start),
+			}
+		case <-ctx.Done():
+			c.mu.Lock()
+			c.waiting--
+			c.canceledWaiting++
+			c.mu.Unlock()
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return nil, &governor.BudgetError{Resource: "wall-clock", Used: int64(time.Since(start))}
+			}
+			return nil, fmt.Errorf("%w: %w", governor.ErrCanceled, ctx.Err())
+		}
+	}
+}
+
+// release returns a slot and wakes waiters; the last release after Close
+// completes the drain.
+func (c *Controller) release(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cancels, id)
+	c.inflight--
+	if c.inflight < 0 {
+		panic("admission: release without acquire")
+	}
+	c.broadcast()
+	if c.closed && c.inflight == 0 {
+		select {
+		case <-c.drained:
+		default:
+			close(c.drained)
+		}
+	}
+}
+
+// Close stops admitting (subsequent Acquires fail with governor.ErrClosed)
+// and waits for in-flight queries to drain. If ctx expires first, the
+// stragglers' serving contexts are canceled — they abort with ErrCanceled
+// within a bounded number of governor ticks — and Close keeps waiting for
+// them to actually release. Close is idempotent; every call waits for the
+// same drain.
+func (c *Controller) Close(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		c.broadcast() // waiters see closed and fail fast
+		if c.inflight == 0 {
+			close(c.drained)
+		}
+	}
+	drained := c.drained
+	c.mu.Unlock()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline hit: cancel stragglers, then wait for them to release.
+	c.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(c.cancels))
+	for _, cancel := range c.cancels {
+		cancels = append(cancels, cancel)
+	}
+	c.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	<-drained
+	return ctx.Err()
+}
+
+// Snapshot returns the controller's counters.
+func (c *Controller) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Admitted:         c.admitted,
+		ShedQueueFull:    c.shedFull,
+		ShedQueueTimeout: c.shedTimeout,
+		RejectedClosed:   c.rejectedClosed,
+		CanceledWaiting:  c.canceledWaiting,
+		QueueWait:        time.Duration(c.queueWaitNanos),
+		InFlight:         c.inflight,
+		Waiting:          c.waiting,
+	}
+}

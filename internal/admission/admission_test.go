@@ -1,0 +1,323 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/governor"
+)
+
+// With admission off (zero config) Acquire never blocks and never sheds.
+func TestZeroConfigAdmitsEverything(t *testing.T) {
+	c := New(Config{})
+	var slots []*Slot
+	for i := 0; i < 50; i++ {
+		s, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	if got := c.Snapshot().InFlight; got != 50 {
+		t.Fatalf("inflight %d, want 50", got)
+	}
+	for _, s := range slots {
+		s.Release()
+		s.Release() // idempotent
+	}
+	if got := c.Snapshot().InFlight; got != 0 {
+		t.Fatalf("inflight %d after release, want 0", got)
+	}
+}
+
+// MaxConcurrent admits exactly that many at once; waiters get slots as
+// they free; a full queue sheds with ErrOverloaded("queue full").
+func TestConcurrencyCapAndQueueFull(t *testing.T) {
+	c := New(Config{MaxConcurrent: 2, MaxQueue: 1})
+	s1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fills the queue.
+	admitted := make(chan *Slot)
+	go func() {
+		s, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- s
+	}()
+	// Wait until the goroutine is queued.
+	for c.Snapshot().Waiting == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// The queue is now full: the next Acquire sheds immediately.
+	_, err = c.Acquire(context.Background())
+	var oe *governor.OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue full" {
+		t.Fatalf("err = %v, want queue-full OverloadError", err)
+	}
+	if !errors.Is(err, governor.ErrOverloaded) {
+		t.Fatalf("queue-full error does not match ErrOverloaded: %v", err)
+	}
+	s1.Release()
+	s3 := <-admitted
+	if w := s3.Waited(); w <= 0 {
+		t.Errorf("queued slot reports zero wait %v", w)
+	}
+	s2.Release()
+	s3.Release()
+	st := c.Snapshot()
+	if st.InFlight != 0 || st.Admitted != 3 || st.ShedQueueFull != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// QueueTimeout sheds a waiter that cannot get a slot in time.
+func TestQueueTimeoutSheds(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, QueueTimeout: 20 * time.Millisecond})
+	s, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	_, err = c.Acquire(context.Background())
+	var oe *governor.OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue timeout" {
+		t.Fatalf("err = %v, want queue-timeout OverloadError", err)
+	}
+	if c.Snapshot().ShedQueueTimeout != 1 {
+		t.Fatalf("stats %+v", c.Snapshot())
+	}
+}
+
+// A waiter whose own context dies while queued gets ErrCanceled, not an
+// overload error.
+func TestCanceledWhileQueued(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1})
+	s, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for c.Snapshot().Waiting == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	_, err = c.Acquire(ctx)
+	if !errors.Is(err, governor.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// Close drains: new Acquires fail fast with ErrClosed, in-flight queries
+// finish, and after Close returns nothing is in flight.
+func TestCloseDrains(t *testing.T) {
+	c := New(Config{MaxConcurrent: 4})
+	var done atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		s, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(s *Slot) {
+			defer wg.Done()
+			time.Sleep(10 * time.Millisecond)
+			done.Add(1)
+			s.Release()
+		}(s)
+	}
+	if err := c.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if done.Load() != 4 {
+		t.Fatalf("Close returned with %d/4 queries finished", done.Load())
+	}
+	if got := c.Snapshot().InFlight; got != 0 {
+		t.Fatalf("inflight %d after Close", got)
+	}
+	_, err := c.Acquire(context.Background())
+	if !errors.Is(err, governor.ErrClosed) {
+		t.Fatalf("post-Close Acquire err = %v, want ErrClosed", err)
+	}
+	wg.Wait()
+}
+
+// When Close's context expires mid-drain, stragglers' serving contexts are
+// canceled and Close still waits for them to release before returning.
+func TestCloseCancelsStragglers(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1})
+	s, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := make(chan struct{})
+	go func() {
+		<-s.Context().Done() // straggler: runs until drained cancels it
+		s.Release()
+		close(released)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err = c.Close(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close err = %v, want DeadlineExceeded (drain deadline hit)", err)
+	}
+	select {
+	case <-released:
+	default:
+		t.Fatal("Close returned before the straggler released its slot")
+	}
+	if got := c.Snapshot().InFlight; got != 0 {
+		t.Fatalf("inflight %d after forced drain", got)
+	}
+}
+
+// Waiters queued at Close time fail fast instead of hanging.
+func TestCloseRejectsWaiters(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1})
+	s, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(context.Background())
+		errCh <- err
+	}()
+	for c.Snapshot().Waiting == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		s.Release()
+	}()
+	if err := c.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; !errors.Is(err, governor.ErrClosed) {
+		t.Fatalf("queued waiter err = %v, want ErrClosed", err)
+	}
+}
+
+// Slot accounting stays exact under a concurrent storm of admissions,
+// sheds, and releases.
+func TestSlotAccountingUnderStorm(t *testing.T) {
+	c := New(Config{MaxConcurrent: 3, MaxQueue: 4, QueueTimeout: 5 * time.Millisecond})
+	var wg sync.WaitGroup
+	var admitted, shed atomic.Int64
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s, err := c.Acquire(context.Background())
+				if err != nil {
+					if !errors.Is(err, governor.ErrOverloaded) {
+						t.Errorf("unexpected error %v", err)
+					}
+					shed.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				time.Sleep(time.Duration(j%3) * 100 * time.Microsecond)
+				s.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Snapshot()
+	if st.InFlight != 0 || st.Waiting != 0 {
+		t.Fatalf("leaked slots: %+v", st)
+	}
+	if int64(st.Admitted) != admitted.Load() {
+		t.Fatalf("admitted counter %d != observed %d", st.Admitted, admitted.Load())
+	}
+	if int64(st.ShedQueueFull+st.ShedQueueTimeout) != shed.Load() {
+		t.Fatalf("shed counters %+v != observed %d", st, shed.Load())
+	}
+	if admitted.Load()+shed.Load() != 16*50 {
+		t.Fatalf("lost calls: %d admitted + %d shed != %d", admitted.Load(), shed.Load(), 16*50)
+	}
+}
+
+// The breaker opens after Threshold consecutive internal errors, rejects
+// while open, half-opens after the cooldown, and a healthy probe closes it.
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 10 * time.Millisecond})
+	internal := governor.NewInternal("boom", nil)
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("allow %d: %v", i, err)
+		}
+		b.Record(internal)
+	}
+	st := b.Snapshot()
+	if st.State != BreakerOpen || st.Opens != 1 {
+		t.Fatalf("after 3 internal errors: %+v", st)
+	}
+	if err := b.Allow(); !errors.Is(err, governor.ErrOverloaded) {
+		t.Fatalf("open breaker allowed a query: %v", err)
+	}
+	time.Sleep(15 * time.Millisecond)
+	// Half-open: the first Allow is the probe, the second is rejected.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, governor.ErrOverloaded) {
+		t.Fatalf("second query allowed during probe: %v", err)
+	}
+	b.Record(nil) // healthy probe
+	if st := b.Snapshot(); st.State != BreakerClosed {
+		t.Fatalf("after healthy probe: %+v", st)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+}
+
+// A failed probe re-opens the breaker for another cooldown.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 5 * time.Millisecond})
+	internal := governor.NewInternal("boom", nil)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(internal)
+	time.Sleep(10 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Record(internal)
+	st := b.Snapshot()
+	if st.State != BreakerOpen || st.Opens != 2 {
+		t.Fatalf("after failed probe: %+v", st)
+	}
+}
+
+// Non-internal errors never trip the breaker.
+func TestBreakerIgnoresNonInternalErrors(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute})
+	for _, err := range []error{governor.ErrParse, governor.ErrBadStats, governor.ErrCanceled, governor.ErrBudgetExceeded} {
+		if allowErr := b.Allow(); allowErr != nil {
+			t.Fatal(allowErr)
+		}
+		b.Record(err)
+	}
+	if st := b.Snapshot(); st.State != BreakerClosed || st.Opens != 0 {
+		t.Fatalf("non-internal errors tripped the breaker: %+v", st)
+	}
+}

@@ -1,0 +1,184 @@
+// The circuit breaker protects a struggling system from a retry storm: a
+// run of consecutive internal errors (recovered panics, injected faults —
+// the "this box is broken" class, never parse or budget failures) opens
+// the breaker, and while it is open queries fail fast with
+// governor.ErrOverloaded instead of piling onto a pipeline that is
+// currently returning garbage. After a cooldown the breaker half-opens and
+// lets exactly one probe query through; a healthy probe closes the
+// breaker, a failed probe re-opens it for another cooldown.
+package admission
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/governor"
+)
+
+// BreakerConfig configures the circuit breaker. The zero value disables it.
+type BreakerConfig struct {
+	// Threshold is how many consecutive internal errors open the breaker;
+	// 0 disables the breaker entirely.
+	Threshold int
+	// Cooldown is how long the breaker stays open before half-opening to
+	// probe.
+	Cooldown time.Duration
+}
+
+// BreakerState names the breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed is the healthy state: queries flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails queries fast after a run of internal errors.
+	BreakerOpen
+	// BreakerHalfOpen lets one probe query through after the cooldown.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerStats is a point-in-time snapshot of the breaker's counters.
+type BreakerStats struct {
+	// State is the breaker's current position.
+	State BreakerState
+	// ConsecutiveInternal is the current run of internal errors.
+	ConsecutiveInternal int
+	// Opens counts closed→open transitions (including re-opens after a
+	// failed probe).
+	Opens uint64
+	// Rejections counts queries failed fast while open.
+	Rejections uint64
+	// Probes counts half-open probe queries let through.
+	Probes uint64
+}
+
+// Breaker is a consecutive-internal-error circuit breaker. A nil *Breaker
+// is valid and always allows.
+type Breaker struct {
+	mu          sync.Mutex
+	cfg         BreakerConfig
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+	opens       uint64
+	rejections  uint64
+	probes      uint64
+}
+
+// NewBreaker creates a breaker; a zero cfg.Threshold disables it.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg}
+}
+
+// SetConfig replaces the breaker policy and resets the breaker to closed.
+func (b *Breaker) SetConfig(cfg BreakerConfig) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cfg = cfg
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// Allow gates one query. It returns nil to let the query run (counting it
+// as the probe when half-open) or a *governor.OverloadError when the
+// breaker is open.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cfg.Threshold <= 0 {
+		return nil
+	}
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if time.Since(b.openedAt) >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			b.probes++
+			return nil
+		}
+	case BreakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			b.probes++
+			return nil
+		}
+	}
+	b.rejections++
+	return &governor.OverloadError{Reason: "circuit breaker open"}
+}
+
+// Record reports one allowed query's outcome. Only internal errors
+// (governor.ErrInternal) count as failures: a parse error or an exhausted
+// budget says nothing about the health of the pipeline. A successful (or
+// non-internal) probe closes a half-open breaker; a failed probe re-opens
+// it.
+func (b *Breaker) Record(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cfg.Threshold <= 0 {
+		return
+	}
+	if err != nil && errors.Is(err, governor.ErrInternal) {
+		b.consecutive++
+		switch {
+		case b.state == BreakerHalfOpen:
+			// Failed probe: back to open for another cooldown.
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+			b.probing = false
+			b.opens++
+		case b.state == BreakerClosed && b.consecutive >= b.cfg.Threshold:
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+			b.opens++
+		}
+		return
+	}
+	b.consecutive = 0
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.probing = false
+	}
+}
+
+// Snapshot returns the breaker's counters.
+func (b *Breaker) Snapshot() BreakerStats {
+	if b == nil {
+		return BreakerStats{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:               b.state,
+		ConsecutiveInternal: b.consecutive,
+		Opens:               b.opens,
+		Rejections:          b.rejections,
+		Probes:              b.probes,
+	}
+}

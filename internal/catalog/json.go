@@ -2,17 +2,26 @@ package catalog
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 
+	"repro/internal/governor"
 	"repro/internal/storage"
 )
+
+// StatsFormatVersion is the format version ExportJSON writes. Version 2
+// added the format_version header and per-table checksums; version-less
+// (legacy, "version 1") files still import, without integrity checking.
+const StatsFormatVersion = 2
 
 // jsonCatalog is the serialized form of a catalog's statistics (data tables
 // and indexes are not serialized; statistics are what optimizers exchange).
 type jsonCatalog struct {
-	Tables []jsonTable `json:"tables"`
+	FormatVersion int         `json:"format_version,omitempty"`
+	Tables        []jsonTable `json:"tables"`
 }
 
 type jsonTable struct {
@@ -20,6 +29,10 @@ type jsonTable struct {
 	Card     float64      `json:"card"`
 	RowWidth int          `json:"row_width"`
 	Columns  []jsonColumn `json:"columns"`
+	// Checksum is the IEEE CRC-32 (hex) of the table's canonical compact
+	// JSON encoding with this field empty. It detects a corrupted or
+	// hand-mangled section at import time.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 type jsonColumn struct {
@@ -58,10 +71,27 @@ var typeByName = map[string]storage.Type{
 	"string": storage.TypeString, "bool": storage.TypeBool,
 }
 
+// tableChecksum computes a table section's integrity checksum: the IEEE
+// CRC-32 of its compact JSON encoding with the Checksum field cleared.
+// The encoding is canonical (fixed field order, shortest float form), so
+// the value is stable across export/import round trips and independent of
+// the file's indentation.
+func tableChecksum(jt jsonTable) string {
+	jt.Checksum = ""
+	b, err := json.Marshal(jt)
+	if err != nil {
+		// Marshaling a plain struct of floats/strings cannot fail.
+		panic(fmt.Sprintf("catalog: marshal table section: %v", err))
+	}
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(b))
+}
+
 // ExportJSON writes the catalog's statistics as JSON — the portable
-// artifact for sharing optimizer statistics between runs or tools.
+// artifact for sharing optimizer statistics between runs or tools. The
+// file carries a format_version header and a per-table checksum so
+// ImportJSON can reject truncated or corrupted files.
 func (c *Catalog) ExportJSON(w io.Writer) error {
-	out := jsonCatalog{}
+	out := jsonCatalog{FormatVersion: StatsFormatVersion}
 	for _, name := range c.TableNames() {
 		ts := c.Table(name)
 		jt := jsonTable{Name: ts.Name, Card: ts.Card, RowWidth: ts.RowWidth}
@@ -86,6 +116,7 @@ func (c *Catalog) ExportJSON(w io.Writer) error {
 			}
 			jt.Columns = append(jt.Columns, jc)
 		}
+		jt.Checksum = tableChecksum(jt)
 		out.Tables = append(out.Tables, jt)
 	}
 	enc := json.NewEncoder(w)
@@ -93,12 +124,67 @@ func (c *Catalog) ExportJSON(w io.Writer) error {
 	return enc.Encode(out)
 }
 
+// decodeError maps a JSON decoding failure onto ErrBadStats with a
+// line:column diagnostic computed from the decoder's byte offset, so a
+// truncated or mangled stats file reports where it broke instead of
+// silently importing a partial catalog.
+func decodeError(data []byte, err error) error {
+	var offset int64 = -1
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &syn):
+		offset = syn.Offset
+	case errors.As(err, &typ):
+		offset = typ.Offset
+	}
+	if offset < 0 || offset > int64(len(data)) {
+		return fmt.Errorf("%w: stats file: %w", governor.ErrBadStats, err)
+	}
+	line, col := 1, 1
+	for _, b := range data[:offset] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("%w: stats file line %d, column %d (byte %d): %w",
+		governor.ErrBadStats, line, col, offset, err)
+}
+
 // ImportJSON loads statistics previously written by ExportJSON into the
-// catalog (replacing same-named tables).
+// catalog (replacing same-named tables). Version-2 files (the current
+// format) are integrity-checked: the format_version header must not be
+// newer than this build understands, and every table section's checksum
+// must match, so a truncated or corrupted file fails with ErrBadStats and
+// a line diagnostic. Legacy files without a header import without
+// checksum verification.
 func (c *Catalog) ImportJSON(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("%w: reading stats file: %w", governor.ErrBadStats, err)
+	}
 	var in jsonCatalog
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return fmt.Errorf("catalog: %w", err)
+	if err := json.Unmarshal(data, &in); err != nil {
+		return decodeError(data, err)
+	}
+	if in.FormatVersion > StatsFormatVersion {
+		return fmt.Errorf("%w: stats file format version %d is newer than the supported version %d",
+			governor.ErrBadStats, in.FormatVersion, StatsFormatVersion)
+	}
+	if in.FormatVersion >= 2 {
+		for i, jt := range in.Tables {
+			if jt.Checksum == "" {
+				return fmt.Errorf("%w: stats file: table %q (section %d): missing checksum",
+					governor.ErrBadStats, jt.Name, i)
+			}
+			if got := tableChecksum(jt); got != jt.Checksum {
+				return fmt.Errorf("%w: stats file: table %q (section %d): checksum mismatch (file says %s, content hashes to %s) — the section was corrupted or edited",
+					governor.ErrBadStats, jt.Name, i, jt.Checksum, got)
+			}
+		}
 	}
 	for _, jt := range in.Tables {
 		ts := &TableStats{
@@ -108,7 +194,8 @@ func (c *Catalog) ImportJSON(r io.Reader) error {
 		for _, jc := range jt.Columns {
 			typ, ok := typeByName[jc.Type]
 			if !ok {
-				return fmt.Errorf("catalog: table %s column %s: unknown type %q", jt.Name, jc.Name, jc.Type)
+				return fmt.Errorf("%w: stats file: table %s column %s: unknown type %q",
+					governor.ErrBadStats, jt.Name, jc.Name, jc.Type)
 			}
 			cs := &ColumnStats{
 				Name: jc.Name, Type: typ, Distinct: jc.Distinct,

@@ -2,9 +2,11 @@ package catalog
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
+	"repro/internal/governor"
 	"repro/internal/storage"
 )
 
@@ -59,6 +61,90 @@ func TestExportImportJSONRoundTrip(t *testing.T) {
 	}
 	if c2.Table("S").Card != 99 {
 		t.Error("import should replace S")
+	}
+}
+
+// The exported file carries the format-version header and per-table
+// checksums; flipping any byte inside a table section fails the import
+// with ErrBadStats naming the table, and truncating the file fails with a
+// line diagnostic — never a silent partial import.
+func TestImportJSONIntegrity(t *testing.T) {
+	c := New()
+	c.MustAddTable(SimpleTable("R", 1000, map[string]float64{"x": 100}))
+	c.MustAddTable(SimpleTable("S", 20, map[string]float64{"k": 20}))
+	var buf bytes.Buffer
+	if err := c.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"format_version": 2`) {
+		t.Fatalf("export missing format_version header:\n%s", out)
+	}
+	if strings.Count(out, `"checksum"`) != 2 {
+		t.Fatalf("export missing per-table checksums:\n%s", out)
+	}
+
+	// Pristine file imports.
+	if err := New().ImportJSON(strings.NewReader(out)); err != nil {
+		t.Fatalf("pristine import: %v", err)
+	}
+
+	// Corrupt a value inside table S's section (not its checksum field).
+	corrupt := strings.Replace(out, `"card": 20`, `"card": 21`, 1)
+	if corrupt == out {
+		t.Fatal("corruption did not apply")
+	}
+	err := New().ImportJSON(strings.NewReader(corrupt))
+	if !errors.Is(err, governor.ErrBadStats) {
+		t.Fatalf("corrupted import err = %v, want ErrBadStats", err)
+	}
+	if !strings.Contains(err.Error(), `"S"`) || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupted import should name the table: %v", err)
+	}
+
+	// Truncate mid-file: ErrBadStats with a line diagnostic.
+	err = New().ImportJSON(strings.NewReader(out[:len(out)/2]))
+	if !errors.Is(err, governor.ErrBadStats) {
+		t.Fatalf("truncated import err = %v, want ErrBadStats", err)
+	}
+	if !strings.Contains(err.Error(), "line ") {
+		t.Fatalf("truncated import should carry a line diagnostic: %v", err)
+	}
+
+	// A v2 table section without a checksum is rejected.
+	err = New().ImportJSON(strings.NewReader(
+		`{"format_version":2,"tables":[{"name":"T","card":1,"row_width":8,"columns":[]}]}`))
+	if !errors.Is(err, governor.ErrBadStats) || !strings.Contains(err.Error(), "missing checksum") {
+		t.Fatalf("missing checksum err = %v", err)
+	}
+
+	// Files from a future format version are rejected, not misread.
+	err = New().ImportJSON(strings.NewReader(`{"format_version":99,"tables":[]}`))
+	if !errors.Is(err, governor.ErrBadStats) || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("future version err = %v", err)
+	}
+
+	// Legacy files (no header, no checksums) still import.
+	legacy := `{"tables":[{"name":"L","card":5,"row_width":8,"columns":[]}]}`
+	c2 := New()
+	if err := c2.ImportJSON(strings.NewReader(legacy)); err != nil {
+		t.Fatalf("legacy import: %v", err)
+	}
+	if c2.Table("L") == nil {
+		t.Fatal("legacy table missing")
+	}
+}
+
+// The line diagnostic points at the actual break: a syntax error on line 3
+// reports line 3.
+func TestImportJSONLineDiagnostic(t *testing.T) {
+	bad := "{\n\"tables\": [\n{\"name\": !!,\n]}\n"
+	err := New().ImportJSON(strings.NewReader(bad))
+	if !errors.Is(err, governor.ErrBadStats) {
+		t.Fatalf("err = %v, want ErrBadStats", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("diagnostic should point at line 3: %v", err)
 	}
 }
 

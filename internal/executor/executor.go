@@ -125,6 +125,20 @@ func (e *Executor) visit(stats *Stats) error {
 	return e.gov.TickTuples(1)
 }
 
+// probe consults a fault-injection point with the governor's context so
+// injected latency is slept out interruptibly: a canceled query aborts a
+// latency fault immediately (mapped through the error taxonomy) instead
+// of delaying drain.
+func (e *Executor) probe(point string) error {
+	if err := faultinject.CheckCtx(e.gov.Context(), point); err != nil {
+		if gerr := e.gov.Err(); gerr != nil {
+			return gerr
+		}
+		return err
+	}
+	return nil
+}
+
 // emit appends a row to an operator output, charging the materialized-row
 // budget.
 func (e *Executor) emit(out *storage.Table, row []storage.Value) error {
@@ -211,7 +225,7 @@ func qualifiedSchema(alias string, in *storage.Schema) (*storage.Schema, error) 
 }
 
 func (e *Executor) runScan(s *optimizer.Scan, stats *Stats) (*storage.Table, error) {
-	if err := faultinject.Check(PointScan); err != nil {
+	if err := e.probe(PointScan); err != nil {
 		return nil, err
 	}
 	base := e.cat.Data(s.Table)
@@ -269,7 +283,7 @@ func (e *Executor) scanRange(base *storage.Table, start, end int, filter compile
 }
 
 func (e *Executor) runJoin(j *optimizer.Join, stats *Stats, rec *recorder, depth int) (*storage.Table, error) {
-	if err := faultinject.Check(PointJoin); err != nil {
+	if err := e.probe(PointJoin); err != nil {
 		return nil, err
 	}
 	left, err := e.run(j.Left, stats, rec, depth+1)

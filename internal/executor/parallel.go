@@ -3,7 +3,6 @@ package executor
 import (
 	"runtime"
 
-	"repro/internal/faultinject"
 	"repro/internal/optimizer"
 	"repro/internal/storage"
 	"repro/internal/workpool"
@@ -88,7 +87,7 @@ func (e *Executor) parallelScan(s *optimizer.Scan, base *storage.Table, schema *
 	outs := make([]*storage.Table, len(ranges))
 	locals := make([]Stats, len(ranges))
 	err := workpool.Run(workers, len(ranges), func(i int) error {
-		if err := faultinject.Check(PointScanChunk); err != nil {
+		if err := e.probe(PointScanChunk); err != nil {
 			return err
 		}
 		outs[i] = storage.NewTable(s.Alias, schema)
@@ -136,7 +135,7 @@ func (e *Executor) partitionedHashJoin(left, right *storage.Table, lKey, rKey in
 	chunkParts := make([][][]buildEntry, len(buildRanges))
 	buildStats := make([]Stats, len(buildRanges))
 	err := workpool.Run(workers, len(buildRanges), func(i int) error {
-		if err := faultinject.Check(PointJoinChunk); err != nil {
+		if err := e.probe(PointJoinChunk); err != nil {
 			return err
 		}
 		local := make([][]buildEntry, parts)
@@ -187,7 +186,7 @@ func (e *Executor) partitionedHashJoin(left, right *storage.Table, lKey, rKey in
 	outs := make([]*storage.Table, len(probeRanges))
 	probeStats := make([]Stats, len(probeRanges))
 	err = workpool.Run(workers, len(probeRanges), func(i int) error {
-		if err := faultinject.Check(PointJoinChunk); err != nil {
+		if err := e.probe(PointJoinChunk); err != nil {
 			return err
 		}
 		out := storage.NewTable("join", outSchema)
@@ -237,7 +236,7 @@ func (e *Executor) parallelNestedLoop(left *storage.Table, in nlInner, join comp
 	outs := make([]*storage.Table, len(ranges))
 	locals := make([]Stats, len(ranges))
 	err := workpool.Run(workers, len(ranges), func(i int) error {
-		if err := faultinject.Check(PointJoinChunk); err != nil {
+		if err := e.probe(PointJoinChunk); err != nil {
 			return err
 		}
 		outs[i] = storage.NewTable("join", outSchema)

@@ -14,8 +14,10 @@
 package faultinject
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Fault describes what an armed probe does when hit.
@@ -28,6 +30,10 @@ type Fault struct {
 	// Payload carries site-specific data; probe sites type-assert it (e.g.
 	// cardest asserts a func(*catalog.TableStats) statistics corruptor).
 	Payload any
+	// Delay, if positive, makes Check (and CheckCtx) sleep before acting
+	// on the fault — latency injection. A fault may carry only a Delay
+	// (Err and PanicValue nil): the probe site slows down but succeeds.
+	Delay time.Duration
 	// Times bounds how often the fault fires before disarming itself;
 	// 0 means every hit until Disable/Reset.
 	Times int
@@ -104,12 +110,31 @@ func Fire(point string) (Fault, bool) {
 }
 
 // Check is the common probe-site form: it fires the point and converts the
-// fault into control flow — panicking when PanicValue is set, otherwise
-// returning Err (which may be nil for payload-only faults).
+// fault into control flow — sleeping out Delay, then panicking when
+// PanicValue is set, otherwise returning Err (which may be nil for
+// payload- or delay-only faults).
 func Check(point string) error {
+	return CheckCtx(context.Background(), point)
+}
+
+// CheckCtx is Check with an interruptible Delay: if ctx dies while the
+// injected latency is being slept out, CheckCtx returns ctx.Err()
+// immediately. Probe sites that can observe cancellation (e.g. via a
+// governor) should prefer this form so latency faults do not delay
+// shutdown.
+func CheckCtx(ctx context.Context, point string) error {
 	f, ok := Fire(point)
 	if !ok {
 		return nil
+	}
+	if f.Delay > 0 {
+		t := time.NewTimer(f.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
 	}
 	if f.PanicValue != nil {
 		panic(f.PanicValue)

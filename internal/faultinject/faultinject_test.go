@@ -1,8 +1,10 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"testing"
+	"time"
 )
 
 func TestDisarmedCheckIsNil(t *testing.T) {
@@ -73,6 +75,35 @@ func TestPayload(t *testing.T) {
 		t.Fatal(err)
 	}
 	Reset()
+}
+
+func TestDelaySleepsOut(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Fault{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Check("p"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("latency fault slept only %v", elapsed)
+	}
+}
+
+func TestDelayInterruptedByContext(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Fault{Delay: time.Minute, Err: errors.New("never reached")})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := CheckCtx(ctx, "p")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("interruptible delay blocked for %v", elapsed)
+	}
 }
 
 func TestResetClearsAll(t *testing.T) {

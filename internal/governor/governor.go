@@ -43,6 +43,15 @@ var (
 	ErrParse = errors.New("els: parse error")
 	// ErrInternal reports a panic recovered at the public API boundary.
 	ErrInternal = errors.New("els: internal error")
+	// ErrOverloaded reports that admission control shed the query: the
+	// concurrency limit was reached and the query could not be queued (queue
+	// full) or waited past its queue deadline, or the circuit breaker is
+	// open. Overload is a property of the system's load, not of the query —
+	// the same query may succeed when resubmitted later.
+	ErrOverloaded = errors.New("els: overloaded")
+	// ErrClosed reports that the system is draining or closed
+	// (System.Close); new queries fail fast with this error.
+	ErrClosed = errors.New("els: system closed")
 )
 
 // BudgetError is the concrete error for an exhausted budget. It matches
@@ -66,6 +75,33 @@ func (e *BudgetError) Error() string {
 
 // Unwrap makes errors.Is(err, ErrBudgetExceeded) hold.
 func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// OverloadError is the concrete error for a shed query. It matches
+// ErrOverloaded under errors.Is and names why admission refused the query.
+type OverloadError struct {
+	// Reason is one of "queue full", "queue timeout", "circuit breaker open".
+	Reason string
+	// MaxConcurrent and MaxQueue are the admission limits in force.
+	MaxConcurrent, MaxQueue int
+	// Waited is how long the query sat in the admission queue before being
+	// shed (zero for immediate sheds).
+	Waited time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	s := fmt.Sprintf("els: overloaded: %s (max-concurrent %d", e.Reason, e.MaxConcurrent)
+	if e.MaxQueue > 0 {
+		s += fmt.Sprintf(", max-queue %d", e.MaxQueue)
+	}
+	s += ")"
+	if e.Waited > 0 {
+		s += fmt.Sprintf(" after waiting %s", e.Waited)
+	}
+	return s
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) hold.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // InternalError is the concrete error for a recovered panic. It matches
 // ErrInternal under errors.Is and carries the panic value and stack.
@@ -108,13 +144,29 @@ type Limits struct {
 	// code paths. Workers is a degree, not a budget: it does not make
 	// Enforced report true.
 	Workers int
+	// MaxConcurrent caps how many queries the system serves at once
+	// (admission control); 0 disables. Queries beyond the cap wait in the
+	// admission queue and are shed with ErrOverloaded when the queue fills
+	// or QueueTimeout elapses.
+	MaxConcurrent int
+	// MaxQueue caps how many queries may wait for admission at once; 0
+	// means unbounded. Only meaningful with MaxConcurrent > 0.
+	MaxQueue int
+	// QueueTimeout bounds how long a query waits for admission before being
+	// shed with ErrOverloaded; 0 means wait indefinitely (until the
+	// caller's context dies). Only meaningful with MaxConcurrent > 0.
+	QueueTimeout time.Duration
 }
 
 // Enforced reports whether any budget limit is set (Workers is a
-// parallelism degree, not a budget, and does not count).
+// parallelism degree, and the admission fields govern the system rather
+// than a single query's budget; none of them count).
 func (l Limits) Enforced() bool {
 	return l.Timeout > 0 || l.MaxTuples > 0 || l.MaxRows > 0 || l.MaxPlans > 0
 }
+
+// Admission reports whether admission control is configured.
+func (l Limits) Admission() bool { return l.MaxConcurrent > 0 }
 
 // checkInterval is how many ticks pass between context/deadline polls.
 const checkInterval = 1024
@@ -130,6 +182,7 @@ type Governor struct {
 	tuples     atomic.Int64
 	rows       atomic.Int64
 	plans      atomic.Int64
+	queueWait  atomic.Int64 // nanoseconds spent waiting for admission
 	sinceCheck atomic.Int64
 }
 
@@ -247,4 +300,23 @@ func (g *Governor) Usage() (tuples, rows, plans int64) {
 		return 0, 0, 0
 	}
 	return g.tuples.Load(), g.rows.Load(), g.plans.Load()
+}
+
+// RecordQueueWait charges the time the query spent waiting for admission.
+// Queue wait is accounting only: it is not charged against the wall-clock
+// budget, whose deadline starts when the Governor is created (after
+// admission), so a long queue wait cannot consume a query's own budget.
+func (g *Governor) RecordQueueWait(d time.Duration) {
+	if g == nil || d <= 0 {
+		return
+	}
+	g.queueWait.Add(int64(d))
+}
+
+// QueueWait reports how long the query waited for admission.
+func (g *Governor) QueueWait() time.Duration {
+	if g == nil {
+		return 0
+	}
+	return time.Duration(g.queueWait.Load())
 }

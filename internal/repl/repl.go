@@ -56,6 +56,8 @@ func (p *Processor) Execute(line string) (quit bool, err error) {
 		return false, nil
 	case "limits":
 		return false, p.limits(fields[1:])
+	case "serving":
+		return false, p.serving()
 	case "declare":
 		return false, p.declare(fields[1:])
 	case "load":
@@ -97,8 +99,13 @@ func (p *Processor) help() error {
   algo <name>                               set the estimation algorithm
   algos                                     list algorithms
   limits [timeout=D] [tuples=N] [rows=N] [plans=N] [workers=N]
-                                            set per-query budgets and parallelism
+         [max-concurrent=N] [max-queue=N] [queue-timeout=D]
+                                            set per-query budgets, parallelism,
+                                            and admission control
                                             ("limits off" clears)
+  serving                                   show serving-layer counters
+                                            (catalog version, admission, retries,
+                                            circuit breaker)
   estimate <sql>                            estimate without executing
   explain <sql>                             show closure + plan + estimates
   analyze <sql>                             execute and show est-vs-actual per node
@@ -125,17 +132,27 @@ func (p *Processor) setAlgo(args []string) error {
 	return nil
 }
 
-// limits shows or updates the system's per-query resource budgets. With no
-// arguments it prints the current limits; "limits off" clears them.
+const limitsUsage = "usage: limits [timeout=D] [tuples=N] [rows=N] [plans=N] [workers=N] [max-concurrent=N] [max-queue=N] [queue-timeout=D] | limits off"
+
+// formatLimits renders one line of the full limit set, budgets and
+// admission control alike.
+func formatLimits(l els.Limits) string {
+	return fmt.Sprintf("timeout=%s tuples=%d rows=%d plans=%d workers=%d max-concurrent=%d max-queue=%d queue-timeout=%s",
+		l.Timeout, l.MaxTuples, l.MaxRows, l.MaxPlans, l.Workers,
+		l.MaxConcurrent, l.MaxQueue, l.QueueTimeout)
+}
+
+// limits shows or updates the system's per-query resource budgets and
+// admission control. With no arguments it prints the current limits;
+// "limits off" clears everything.
 func (p *Processor) limits(args []string) error {
 	if len(args) == 0 {
 		l := p.sys.Limits()
-		if !l.Enforced() && l.Workers == 0 {
+		if !l.Enforced() && !l.Admission() && l.Workers == 0 && l.MaxQueue == 0 && l.QueueTimeout == 0 {
 			p.printf("no limits\n")
 			return nil
 		}
-		p.printf("timeout=%s tuples=%d rows=%d plans=%d workers=%d\n",
-			l.Timeout, l.MaxTuples, l.MaxRows, l.MaxPlans, l.Workers)
+		p.printf("%s\n", formatLimits(l))
 		return nil
 	}
 	if len(args) == 1 && strings.EqualFold(args[0], "off") {
@@ -146,25 +163,38 @@ func (p *Processor) limits(args []string) error {
 	l := p.sys.Limits()
 	for _, kv := range args {
 		parts := strings.SplitN(kv, "=", 2)
-		if len(parts) != 2 {
-			p.printf("usage: limits [timeout=D] [tuples=N] [rows=N] [plans=N] | limits off\n")
+		if len(parts) != 2 || parts[1] == "" {
+			p.printf("malformed limit %q (want key=value)\n%s\n", kv, limitsUsage)
 			return nil
 		}
-		switch strings.ToLower(parts[0]) {
-		case "timeout":
+		key := strings.ToLower(parts[0])
+		switch key {
+		case "timeout", "queue-timeout":
 			d, err := time.ParseDuration(parts[1])
 			if err != nil {
-				p.printf("bad timeout %q: %v\n", parts[1], err)
+				p.printf("bad %s %q: %v\n%s\n", key, parts[1], err, limitsUsage)
 				return nil
 			}
-			l.Timeout = d
-		case "tuples", "rows", "plans", "workers":
+			if d < 0 {
+				p.printf("%s must not be negative (got %s)\n%s\n", key, d, limitsUsage)
+				return nil
+			}
+			if key == "timeout" {
+				l.Timeout = d
+			} else {
+				l.QueueTimeout = d
+			}
+		case "tuples", "rows", "plans", "workers", "max-concurrent", "max-queue":
 			n, err := strconv.ParseInt(parts[1], 10, 64)
 			if err != nil {
-				p.printf("bad %s limit %q\n", parts[0], parts[1])
+				p.printf("bad %s limit %q\n%s\n", key, parts[1], limitsUsage)
 				return nil
 			}
-			switch strings.ToLower(parts[0]) {
+			if n < 0 {
+				p.printf("%s must not be negative (got %d); use \"limits off\" to clear\n%s\n", key, n, limitsUsage)
+				return nil
+			}
+			switch key {
 			case "tuples":
 				l.MaxTuples = n
 			case "rows":
@@ -173,15 +203,32 @@ func (p *Processor) limits(args []string) error {
 				l.MaxPlans = n
 			case "workers":
 				l.Workers = int(n)
+			case "max-concurrent":
+				l.MaxConcurrent = int(n)
+			case "max-queue":
+				l.MaxQueue = int(n)
 			}
 		default:
-			p.printf("unknown limit %q (want timeout, tuples, rows, plans, workers)\n", parts[0])
+			p.printf("unknown limit %q (want timeout, tuples, rows, plans, workers, max-concurrent, max-queue, queue-timeout)\n", parts[0])
 			return nil
 		}
 	}
 	p.sys.SetLimits(l)
-	p.printf("limits set: timeout=%s tuples=%d rows=%d plans=%d workers=%d\n",
-		l.Timeout, l.MaxTuples, l.MaxRows, l.MaxPlans, l.Workers)
+	p.printf("limits set: %s\n", formatLimits(l))
+	return nil
+}
+
+// serving prints the serving-layer counters: catalog version, admission,
+// queueing, retries, and the circuit breaker.
+func (p *Processor) serving() error {
+	st := p.sys.RobustnessStats()
+	p.printf("catalog version: %d\n", st.CatalogVersion)
+	p.printf("admitted=%d shed-queue-full=%d shed-queue-timeout=%d rejected-closed=%d\n",
+		st.Admitted, st.ShedQueueFull, st.ShedQueueTimeout, st.RejectedClosed)
+	p.printf("in-flight=%d waiting=%d queue-wait=%s\n", st.InFlight, st.Waiting, st.QueueWait)
+	p.printf("retries=%d retry-successes=%d\n", st.Retries, st.RetrySuccesses)
+	p.printf("breaker=%s opens=%d rejections=%d probes=%d\n",
+		st.BreakerState, st.BreakerOpens, st.BreakerRejections, st.BreakerProbes)
 	return nil
 }
 

@@ -1,0 +1,94 @@
+package snapshot
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// Versions advance by one per successful mutation, and a pinned snapshot
+// is frozen: later mutations never change what it reads.
+func TestVersionsAndIsolation(t *testing.T) {
+	st := NewStore(nil)
+	if v := st.Version(); v != 1 {
+		t.Fatalf("fresh store at version %d, want 1", v)
+	}
+	if err := st.Mutate(func(c *catalog.Catalog) error {
+		return c.AddTable(catalog.SimpleTable("R", 100, map[string]float64{"x": 10}))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pinned := st.Current()
+	if pinned.Version() != 2 {
+		t.Fatalf("version %d after one mutation, want 2", pinned.Version())
+	}
+	if err := st.Mutate(func(c *catalog.Catalog) error {
+		return c.AddTable(catalog.SimpleTable("R", 999, map[string]float64{"x": 10}))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := pinned.Catalog().Table("R").Card; got != 100 {
+		t.Fatalf("pinned snapshot saw later mutation: card %g, want 100", got)
+	}
+	if got := st.Current().Catalog().Table("R").Card; got != 999 {
+		t.Fatalf("current snapshot card %g, want 999", got)
+	}
+}
+
+// A failed mutation publishes nothing: the version does not advance and
+// partial changes made by fn before the failure are invisible.
+func TestFailedMutationPublishesNothing(t *testing.T) {
+	st := NewStore(nil)
+	boom := errors.New("boom")
+	err := st.Mutate(func(c *catalog.Catalog) error {
+		if err := c.AddTable(catalog.SimpleTable("half", 1, nil)); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if st.Version() != 1 {
+		t.Fatalf("failed mutation advanced version to %d", st.Version())
+	}
+	if st.Current().Catalog().Table("half") != nil {
+		t.Fatal("failed mutation's partial change is visible")
+	}
+}
+
+// Concurrent writers serialize: every mutation lands, versions are dense.
+func TestConcurrentWriters(t *testing.T) {
+	st := NewStore(nil)
+	// Seed the table the writers increment.
+	if err := st.Mutate(func(c *catalog.Catalog) error {
+		return c.AddTable(catalog.SimpleTable("W", 0, nil))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				err := st.Mutate(func(c *catalog.Catalog) error {
+					return c.AddTable(catalog.SimpleTable("W", c.Table("W").Card+1, nil))
+				})
+				if err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := st.Current().Catalog().Table("W").Card; got != writers*25 {
+		t.Fatalf("lost updates: card %g, want %d", got, writers*25)
+	}
+	if v := st.Version(); v != 2+writers*25 {
+		t.Fatalf("version %d, want %d", v, 2+writers*25)
+	}
+}

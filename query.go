@@ -7,10 +7,12 @@ import (
 	"time"
 
 	"repro/internal/cardest"
+	"repro/internal/catalog"
 	"repro/internal/executor"
 	"repro/internal/governor"
 	"repro/internal/optimizer"
 	"repro/internal/selest"
+	"repro/internal/snapshot"
 	"repro/internal/sqlparse"
 )
 
@@ -55,6 +57,11 @@ type Estimate struct {
 	// statistics were corrupt (NaN, negative, zero cardinalities degraded
 	// to paper defaults). Empty for healthy catalogs.
 	Warnings []string
+	// CatalogVersion is the catalog snapshot version the query pinned at
+	// admission. All statistics the estimate read come from exactly this
+	// published version, even if the catalog was mutated while the query
+	// ran.
+	CatalogVersion uint64
 }
 
 // NodeStat compares one plan node's estimated and actual output
@@ -110,34 +117,26 @@ const MaxRows = 1000
 
 // optimizerOptions returns the paper repertoire (nested loops +
 // sort-merge), extended with index nested-loops when the user has built
-// any index, governed by the query's resource governor.
-func (s *System) optimizerOptions(gov *governor.Governor) optimizer.Options {
+// any index in the pinned catalog, governed by the query's resource
+// governor.
+func optimizerOptions(cat *catalog.Catalog, gov *governor.Governor) optimizer.Options {
 	opts := optimizer.PaperOptions()
-	if s.hasAnyIndex() {
+	if hasAnyIndex(cat) {
 		opts.Methods = append(opts.Methods, optimizer.IndexNL)
 	}
 	opts.Governor = gov
 	return opts
 }
 
-// newGovernor builds the per-call governor from the caller's context and
-// the system's default limits, and rejects already-dead contexts up front.
-func (s *System) newGovernor(ctx context.Context) (*governor.Governor, error) {
-	gov := governor.New(ctx, s.Limits())
-	if err := gov.Err(); err != nil {
-		return nil, err
-	}
-	return gov, nil
-}
-
-// prepare parses, binds, estimates and plans a query under an algorithm,
-// charging plan enumeration to the governor (which may be nil).
-func (s *System) prepare(gov *governor.Governor, sql string, algo Algorithm) (*sqlparse.Query, optimizer.Plan, *optimizer.Optimizer, error) {
+// prepare parses, binds, estimates and plans a query under an algorithm
+// against the pinned catalog, charging plan enumeration to the governor
+// (which may be nil).
+func prepare(cat *catalog.Catalog, gov *governor.Governor, sql string, algo Algorithm) (*sqlparse.Query, optimizer.Plan, *optimizer.Optimizer, error) {
 	cfg, err := algo.config()
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	q, err := sqlparse.ParseAndBind(sql, s.cat)
+	q, err := sqlparse.ParseAndBind(sql, cat)
 	if err != nil {
 		return nil, nil, nil, wrapParse(err)
 	}
@@ -145,11 +144,11 @@ func (s *System) prepare(gov *governor.Governor, sql string, algo Algorithm) (*s
 	for i, item := range q.Tables {
 		tabs[i] = cardest.TableRef{Alias: item.Alias, Table: item.Table}
 	}
-	est, err := cardest.NewQuery(s.cat, tabs, q.Where, q.Disjunctions, cfg)
+	est, err := cardest.NewQuery(cat, tabs, q.Where, q.Disjunctions, cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	opt, err := optimizer.New(est, s.optimizerOptions(gov))
+	opt, err := optimizer.New(est, optimizerOptions(cat, gov))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -229,19 +228,24 @@ func (s *System) Estimate(sql string, algo Algorithm) (*Estimate, error) {
 // EstimateContext is Estimate governed by a context and the system's
 // Limits: cancellation, the wall-clock deadline, and the plan-enumeration
 // budget all abort planning with a typed error (ErrCanceled,
-// ErrBudgetExceeded). Panics in the pipeline surface as ErrInternal.
-func (s *System) EstimateContext(ctx context.Context, sql string, algo Algorithm) (est *Estimate, err error) {
-	defer recovered(&err)
-	gov, err := s.newGovernor(ctx)
+// ErrBudgetExceeded). Panics in the pipeline surface as ErrInternal. The
+// call is admission-controlled (ErrOverloaded when shed, ErrClosed after
+// Close) and estimates against the catalog snapshot pinned at admission.
+func (s *System) EstimateContext(ctx context.Context, sql string, algo Algorithm) (*Estimate, error) {
+	var est *Estimate
+	err := s.serve(ctx, func(gov *governor.Governor, snap *snapshot.Snapshot) error {
+		q, plan, opt, err := prepare(snap.Catalog(), gov, sql, algo)
+		if err != nil {
+			return err
+		}
+		est = buildEstimate(algo, plan, opt)
+		est.CatalogVersion = snap.Version()
+		est.GroupEstimate = estimateGroups(q, plan, opt)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	q, plan, opt, err := s.prepare(gov, sql, algo)
-	if err != nil {
-		return nil, err
-	}
-	est = buildEstimate(algo, plan, opt)
-	est.GroupEstimate = estimateGroups(q, plan, opt)
 	return est, nil
 }
 
@@ -252,39 +256,44 @@ func (s *System) EstimateOrder(sql string, algo Algorithm, order []string) (*Est
 	return s.EstimateOrderContext(context.Background(), sql, algo, order)
 }
 
-// EstimateOrderContext is EstimateOrder with governance (see
-// EstimateContext).
-func (s *System) EstimateOrderContext(ctx context.Context, sql string, algo Algorithm, order []string) (est *Estimate, err error) {
-	defer recovered(&err)
-	gov, err := s.newGovernor(ctx)
+// EstimateOrderContext is EstimateOrder with governance and admission
+// control (see EstimateContext).
+func (s *System) EstimateOrderContext(ctx context.Context, sql string, algo Algorithm, order []string) (*Estimate, error) {
+	var est *Estimate
+	err := s.serve(ctx, func(gov *governor.Governor, snap *snapshot.Snapshot) error {
+		cfg, err := algo.config()
+		if err != nil {
+			return err
+		}
+		cat := snap.Catalog()
+		q, err := sqlparse.ParseAndBind(sql, cat)
+		if err != nil {
+			return wrapParse(err)
+		}
+		tabs := make([]cardest.TableRef, len(q.Tables))
+		for i, item := range q.Tables {
+			tabs[i] = cardest.TableRef{Alias: item.Alias, Table: item.Table}
+		}
+		cest, err := cardest.NewQuery(cat, tabs, q.Where, q.Disjunctions, cfg)
+		if err != nil {
+			return err
+		}
+		opt, err := optimizer.New(cest, optimizerOptions(cat, gov))
+		if err != nil {
+			return err
+		}
+		plan, err := opt.PlanForOrder(order)
+		if err != nil {
+			return err
+		}
+		est = buildEstimate(algo, plan, opt)
+		est.CatalogVersion = snap.Version()
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := algo.config()
-	if err != nil {
-		return nil, err
-	}
-	q, err := sqlparse.ParseAndBind(sql, s.cat)
-	if err != nil {
-		return nil, wrapParse(err)
-	}
-	tabs := make([]cardest.TableRef, len(q.Tables))
-	for i, item := range q.Tables {
-		tabs[i] = cardest.TableRef{Alias: item.Alias, Table: item.Table}
-	}
-	cest, err := cardest.NewQuery(s.cat, tabs, q.Where, q.Disjunctions, cfg)
-	if err != nil {
-		return nil, err
-	}
-	opt, err := optimizer.New(cest, s.optimizerOptions(gov))
-	if err != nil {
-		return nil, err
-	}
-	plan, err := opt.PlanForOrder(order)
-	if err != nil {
-		return nil, err
-	}
-	return buildEstimate(algo, plan, opt), nil
+	return est, nil
 }
 
 // Explain returns a human-readable report: implied predicates, the chosen
@@ -293,14 +302,32 @@ func (s *System) Explain(sql string, algo Algorithm) (string, error) {
 	return s.ExplainContext(context.Background(), sql, algo)
 }
 
-// ExplainContext is Explain with governance (see EstimateContext).
-func (s *System) ExplainContext(ctx context.Context, sql string, algo Algorithm) (out string, err error) {
-	defer recovered(&err)
-	est, err := s.EstimateContext(ctx, sql, algo)
+// ExplainContext is Explain with governance and admission control (see
+// EstimateContext). The report names the catalog snapshot version the
+// estimates were computed against.
+func (s *System) ExplainContext(ctx context.Context, sql string, algo Algorithm) (string, error) {
+	var out string
+	err := s.serve(ctx, func(gov *governor.Governor, snap *snapshot.Snapshot) error {
+		q, plan, opt, err := prepare(snap.Catalog(), gov, sql, algo)
+		if err != nil {
+			return err
+		}
+		est := buildEstimate(algo, plan, opt)
+		est.CatalogVersion = snap.Version()
+		est.GroupEstimate = estimateGroups(q, plan, opt)
+		out = formatExplain(est)
+		return nil
+	})
 	if err != nil {
 		return "", err
 	}
-	out = fmt.Sprintf("algorithm: %s\n", est.Algorithm)
+	return out, nil
+}
+
+// formatExplain renders the human-readable Explain report for an estimate.
+func formatExplain(est *Estimate) string {
+	out := fmt.Sprintf("algorithm: %s\n", est.Algorithm)
+	out += fmt.Sprintf("catalog version: %d\n", est.CatalogVersion)
 	for _, w := range est.Warnings {
 		out += "warning: " + w + "\n"
 	}
@@ -312,17 +339,25 @@ func (s *System) ExplainContext(ctx context.Context, sql string, algo Algorithm)
 	}
 	out += "plan:\n" + est.PlanText
 	out += fmt.Sprintf("estimated result size: %g (cost %.1f)\n", est.FinalSize, est.Cost)
-	return out, nil
+	return out
 }
 
 // ExplainDot plans the query under the algorithm and returns the chosen
 // plan as a Graphviz DOT digraph.
 func (s *System) ExplainDot(sql string, algo Algorithm) (string, error) {
-	_, plan, _, err := s.prepare(nil, sql, algo)
+	var out string
+	err := s.serve(context.Background(), func(gov *governor.Governor, snap *snapshot.Snapshot) error {
+		_, plan, _, err := prepare(snap.Catalog(), nil, sql, algo)
+		if err != nil {
+			return err
+		}
+		out = optimizer.FormatDot(plan)
+		return nil
+	})
 	if err != nil {
 		return "", err
 	}
-	return optimizer.FormatDot(plan), nil
+	return out, nil
 }
 
 // Query plans and executes the SQL under the selected algorithm. Every
@@ -335,18 +370,34 @@ func (s *System) Query(sql string, algo Algorithm) (*Result, error) {
 // cancelling the context aborts planning and execution inner loops with
 // ErrCanceled; an exhausted budget (wall-clock, tuples scanned, rows
 // materialized, plans enumerated) aborts with ErrBudgetExceeded. Panics in
-// the pipeline surface as ErrInternal instead of crossing the API.
-func (s *System) QueryContext(ctx context.Context, sql string, algo Algorithm) (result *Result, err error) {
-	defer recovered(&err)
-	gov, err := s.newGovernor(ctx)
+// the pipeline surface as ErrInternal instead of crossing the API. The
+// call is admission-controlled (ErrOverloaded when shed, ErrClosed after
+// Close) and both plans and executes against the single catalog snapshot
+// pinned at admission.
+func (s *System) QueryContext(ctx context.Context, sql string, algo Algorithm) (*Result, error) {
+	var result *Result
+	err := s.serve(ctx, func(gov *governor.Governor, snap *snapshot.Snapshot) error {
+		res, err := s.queryOn(snap, gov, sql, algo)
+		if err != nil {
+			return err
+		}
+		result = res
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	q, plan, opt, err := s.prepare(gov, sql, algo)
+	return result, nil
+}
+
+// queryOn runs one plan-and-execute attempt against the pinned snapshot.
+func (s *System) queryOn(snap *snapshot.Snapshot, gov *governor.Governor, sql string, algo Algorithm) (*Result, error) {
+	cat := snap.Catalog()
+	q, plan, opt, err := prepare(cat, gov, sql, algo)
 	if err != nil {
 		return nil, err
 	}
-	exec := executor.NewGoverned(s.cat, gov)
+	exec := executor.NewGoverned(cat, gov)
 	res, err := exec.Execute(plan)
 	if err != nil {
 		return nil, err
@@ -358,6 +409,7 @@ func (s *System) QueryContext(ctx context.Context, sql string, algo Algorithm) (
 		Comparisons:   res.Stats.Comparisons,
 		Elapsed:       res.Stats.Elapsed,
 	}
+	out.Estimate.CatalogVersion = snap.Version()
 	for _, n := range res.Nodes {
 		out.Nodes = append(out.Nodes, NodeStat{
 			Node: n.Node, Depth: n.Depth, EstimatedRows: n.EstRows, ActualRows: n.ActualRows,

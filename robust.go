@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"repro/internal/admission"
 	"repro/internal/governor"
 )
 
@@ -18,24 +19,29 @@ import (
 //	case errors.Is(err, els.ErrBudgetExceeded): // resource limit hit
 //	case errors.Is(err, els.ErrParse):          // bad query
 //	case errors.Is(err, els.ErrBadStats):       // rejected statistics
+//	case errors.Is(err, els.ErrOverloaded):     // shed; resubmit later
+//	case errors.Is(err, els.ErrClosed):         // system draining/closed
 //	case errors.Is(err, els.ErrInternal):       // recovered panic (bug)
 //	}
 //
 // errors.As exposes the structured details: *els.BudgetError names the
 // exhausted resource and its limit; *els.InternalError carries the panic
-// value and stack.
+// value and stack; *els.OverloadError names why admission shed the query.
 var (
 	ErrCanceled       = governor.ErrCanceled
 	ErrBudgetExceeded = governor.ErrBudgetExceeded
 	ErrBadStats       = governor.ErrBadStats
 	ErrParse          = governor.ErrParse
 	ErrInternal       = governor.ErrInternal
+	ErrOverloaded     = governor.ErrOverloaded
+	ErrClosed         = governor.ErrClosed
 )
 
-// Limits configures per-query resource budgets and the intra-query
+// Limits configures per-query resource budgets, the intra-query
 // parallelism degree (Limits.Workers; 0 = GOMAXPROCS, 1 = serial — results
-// are identical at any setting); see SetLimits. The zero value enforces
-// nothing.
+// are identical at any setting), and system-wide admission control
+// (MaxConcurrent, MaxQueue, QueueTimeout); see SetLimits. The zero value
+// enforces nothing.
 type Limits = governor.Limits
 
 // BudgetError details which resource budget a query exhausted.
@@ -44,13 +50,25 @@ type BudgetError = governor.BudgetError
 // InternalError details a panic recovered at the API boundary.
 type InternalError = governor.InternalError
 
+// OverloadError details why admission control shed a query: the queue was
+// full, the queue deadline elapsed, or the circuit breaker is open.
+type OverloadError = governor.OverloadError
+
 // SetLimits installs default resource limits applied to every subsequent
-// query on this system (each call gets a fresh budget). Concurrent queries
-// are each governed independently. Pass the zero Limits to remove them.
+// query on this system (each call gets a fresh budget), and reconfigures
+// admission control from the MaxConcurrent/MaxQueue/QueueTimeout fields
+// (applying to queries admitted from now on; already-admitted queries are
+// never evicted). Concurrent queries are each governed independently. Pass
+// the zero Limits to remove them.
 func (s *System) SetLimits(l Limits) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.limits = l
+	s.mu.Unlock()
+	s.adm.SetConfig(admission.Config{
+		MaxConcurrent: l.MaxConcurrent,
+		MaxQueue:      l.MaxQueue,
+		QueueTimeout:  l.QueueTimeout,
+	})
 }
 
 // Limits returns the system's current default resource limits.

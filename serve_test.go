@@ -1,0 +1,296 @@
+package els
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cardest"
+	"repro/internal/executor"
+	"repro/internal/faultinject"
+)
+
+func testServeSystem(t *testing.T) *System {
+	t.Helper()
+	sys := New()
+	mkRows := func(n, dom int) [][]int64 {
+		rows := make([][]int64, n)
+		for i := range rows {
+			rows[i] = []int64{int64(i % dom), int64(i % 7)}
+		}
+		return rows
+	}
+	if err := sys.LoadTable("R", []string{"a", "b"}, mkRows(200, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadTable("S", []string{"a", "c"}, mkRows(300, 10)); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+const serveJoinSQL = "SELECT COUNT(*) FROM R, S WHERE R.a = S.a AND R.b < 5"
+
+// Every query pins the catalog version current at admission, and the
+// version is surfaced through Estimate.CatalogVersion and Explain.
+func TestQueriesPinCatalogVersion(t *testing.T) {
+	sys := New()
+	sys.MustDeclareStats("V", 100, map[string]float64{"x": 10})
+	v := sys.CatalogVersion()
+	est, err := sys.Estimate("SELECT COUNT(*) FROM V", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CatalogVersion != v {
+		t.Fatalf("estimate pinned version %d, current is %d", est.CatalogVersion, v)
+	}
+	if est.FinalSize != 100 {
+		t.Fatalf("estimate %g, want 100", est.FinalSize)
+	}
+	// Mutating publishes a new version; new estimates see it.
+	sys.MustDeclareStats("V", 500, map[string]float64{"x": 10})
+	if got := sys.CatalogVersion(); got != v+1 {
+		t.Fatalf("version %d after mutation, want %d", got, v+1)
+	}
+	est2, err := sys.Estimate("SELECT COUNT(*) FROM V", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2.CatalogVersion != v+1 || est2.FinalSize != 500 {
+		t.Fatalf("post-mutation estimate: version %d size %g, want %d/500", est2.CatalogVersion, est2.FinalSize, v+1)
+	}
+	out, err := sys.Explain("SELECT COUNT(*) FROM V", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("catalog version: %d", v+1)
+	if !strings.Contains(out, want) {
+		t.Fatalf("Explain output missing %q:\n%s", want, out)
+	}
+}
+
+// A failed ImportStats publishes nothing: the catalog version does not
+// advance and queries keep estimating against the old statistics.
+func TestFailedImportPublishesNothing(t *testing.T) {
+	sys := New()
+	sys.MustDeclareStats("V", 100, map[string]float64{"x": 10})
+	v := sys.CatalogVersion()
+	if err := sys.ImportStats(strings.NewReader("{bad")); err == nil {
+		t.Fatal("malformed import should error")
+	}
+	if got := sys.CatalogVersion(); got != v {
+		t.Fatalf("failed import advanced version %d -> %d", v, got)
+	}
+	est, err := sys.Estimate("SELECT COUNT(*) FROM V", AlgorithmELS)
+	if err != nil || est.FinalSize != 100 {
+		t.Fatalf("estimate after failed import: %v, %v", est, err)
+	}
+}
+
+// MaxConcurrent=1 serializes queries; a queued query with a QueueTimeout
+// sheds with ErrOverloaded and errors.As exposes the OverloadError.
+func TestAdmissionShedsUnderLoad(t *testing.T) {
+	sys := testServeSystem(t)
+	sys.SetLimits(Limits{MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: 10 * time.Millisecond})
+
+	// Occupy the only slot with a query canceled by us later.
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	faultinject.Enable(executor.PointScan, faultinject.Fault{Delay: 300 * time.Millisecond})
+	defer faultinject.Reset()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		_, _ = sys.QueryContext(ctx, serveJoinSQL, AlgorithmELS)
+	}()
+	<-started
+	// Wait for the slot to be taken.
+	for sys.RobustnessStats().InFlight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	_, err := sys.QueryContext(context.Background(), serveJoinSQL, AlgorithmELS)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued query err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue timeout" {
+		t.Fatalf("err = %v, want queue-timeout OverloadError", err)
+	}
+	cancel()
+	wg.Wait()
+	st := sys.RobustnessStats()
+	if st.ShedQueueTimeout != 1 || st.InFlight != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.QueueWait <= 0 {
+		t.Fatalf("no queue wait recorded: %+v", st)
+	}
+}
+
+// Close drains gracefully: in-flight queries finish, subsequent queries
+// fail fast with ErrClosed, and the catalog becomes read-only.
+func TestCloseDrainsSystem(t *testing.T) {
+	sys := testServeSystem(t)
+	sys.SetLimits(Limits{MaxConcurrent: 4})
+	var inFlightErrs atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sys.Query(serveJoinSQL, AlgorithmELS); err != nil {
+				inFlightErrs.Add(1)
+			}
+		}()
+	}
+	// Let some queries get admitted, then drain.
+	time.Sleep(2 * time.Millisecond)
+	if err := sys.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	st := sys.RobustnessStats()
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight after Close: %+v", st)
+	}
+	if _, err := sys.Query(serveJoinSQL, AlgorithmELS); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close query err = %v, want ErrClosed", err)
+	}
+	if err := sys.DeclareStats("T", 10, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close mutation err = %v, want ErrClosed", err)
+	}
+}
+
+// A straggler that outlives Close's deadline is canceled mid-drain and
+// Close still returns with zero in flight.
+func TestCloseCancelsStragglerMidDrain(t *testing.T) {
+	sys := testServeSystem(t)
+	sys.SetLimits(Limits{MaxConcurrent: 2})
+	// The straggler: a query slowed by an injected latency fault so it is
+	// still running when the drain deadline expires. The executor sleeps
+	// the delay interruptibly against the serving context, so the
+	// mid-drain cancellation aborts it immediately.
+	faultinject.Enable(executor.PointScan, faultinject.Fault{Delay: 2 * time.Second})
+	defer faultinject.Reset()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := sys.QueryContext(context.Background(), serveJoinSQL, AlgorithmELS)
+		errCh <- err
+	}()
+	for sys.RobustnessStats().InFlight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := sys.Close(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Close took %v; straggler was not canceled", elapsed)
+	}
+	if st := sys.RobustnessStats(); st.InFlight != 0 {
+		t.Fatalf("in-flight after forced drain: %+v", st)
+	}
+	qerr := <-errCh
+	if !errors.Is(qerr, ErrCanceled) {
+		t.Fatalf("straggler err = %v, want ErrCanceled", qerr)
+	}
+}
+
+// The retry policy retries injected internal faults with seeded backoff
+// and succeeds once the fault schedule is exhausted.
+func TestRetryRecoversFromTransientFaults(t *testing.T) {
+	sys := testServeSystem(t)
+	sys.SetRetryPolicy(RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Microsecond, Seed: 7})
+	faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{
+		Err:   fmt.Errorf("%w: injected transient", ErrInternal),
+		Times: 2, // first two attempts fail, third succeeds
+	})
+	defer faultinject.Reset()
+	res, err := sys.Query(serveJoinSQL, AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count == 0 {
+		t.Fatal("retried query returned no rows")
+	}
+	st := sys.RobustnessStats()
+	if st.Retries != 2 || st.RetrySuccesses != 1 {
+		t.Fatalf("stats %+v, want 2 retries, 1 retry success", st)
+	}
+}
+
+// Retry gives up after MaxAttempts and returns the internal error.
+func TestRetryExhaustsAttempts(t *testing.T) {
+	sys := testServeSystem(t)
+	sys.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond, Seed: 7})
+	faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{
+		Err: fmt.Errorf("%w: injected persistent", ErrInternal),
+	})
+	defer faultinject.Reset()
+	_, err := sys.Query(serveJoinSQL, AlgorithmELS)
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if hits := faultinject.Hits(cardest.PointNewQuery); hits != 3 {
+		t.Fatalf("pipeline entered %d times, want 3 (MaxAttempts)", hits)
+	}
+}
+
+// Panics inside the pipeline are retried too: recovery happens per
+// attempt, so a transient panic behaves like a transient error.
+func TestRetryRecoversFromTransientPanic(t *testing.T) {
+	sys := testServeSystem(t)
+	sys.SetRetryPolicy(RetryPolicy{MaxAttempts: 2, BaseDelay: 100 * time.Microsecond, Seed: 3})
+	faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{PanicValue: "transient boom", Times: 1})
+	defer faultinject.Reset()
+	res, err := sys.Query(serveJoinSQL, AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count == 0 {
+		t.Fatal("no rows after panic retry")
+	}
+}
+
+// The breaker opens after the configured run of internal errors, rejects
+// with ErrOverloaded while open, and half-opens to a probe that closes it.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	sys := testServeSystem(t)
+	sys.SetBreaker(BreakerPolicy{Threshold: 2, Cooldown: 20 * time.Millisecond})
+	faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{
+		Err: fmt.Errorf("%w: injected", ErrInternal), Times: 2,
+	})
+	defer faultinject.Reset()
+	for i := 0; i < 2; i++ {
+		if _, err := sys.Query(serveJoinSQL, AlgorithmELS); !errors.Is(err, ErrInternal) {
+			t.Fatalf("query %d err = %v, want ErrInternal", i, err)
+		}
+	}
+	st := sys.RobustnessStats()
+	if st.BreakerState != "open" || st.BreakerOpens != 1 {
+		t.Fatalf("stats %+v, want open breaker", st)
+	}
+	if _, err := sys.Query(serveJoinSQL, AlgorithmELS); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("open-breaker query err = %v, want ErrOverloaded", err)
+	}
+	time.Sleep(25 * time.Millisecond)
+	// Cooldown over: this query is the half-open probe; the fault schedule
+	// is exhausted, so it succeeds and closes the breaker.
+	if _, err := sys.Query(serveJoinSQL, AlgorithmELS); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	st = sys.RobustnessStats()
+	if st.BreakerState != "closed" || st.BreakerProbes != 1 || st.BreakerRejections != 1 {
+		t.Fatalf("stats after probe %+v", st)
+	}
+}

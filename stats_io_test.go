@@ -2,6 +2,7 @@ package els
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -36,6 +37,50 @@ func TestExportImportStats(t *testing.T) {
 	}
 	if err := dst.ImportStats(strings.NewReader("{bad")); err == nil {
 		t.Error("malformed import should error")
+	}
+}
+
+// A truncated or corrupted stats file fails with ErrBadStats and a
+// diagnostic, and the failed import is all-or-nothing: no table from the
+// bad file appears and the catalog version does not advance.
+func TestImportStatsRejectsCorruption(t *testing.T) {
+	src := New()
+	src.MustDeclareStats("S", 1000, map[string]float64{"s": 1000})
+	src.MustDeclareStats("M", 10000, map[string]float64{"m": 10000})
+	var buf bytes.Buffer
+	if err := src.ExportStats(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exported := buf.String()
+
+	dst := New()
+	version := dst.CatalogVersion()
+
+	// Truncated file: ErrBadStats with a line diagnostic.
+	err := dst.ImportStats(strings.NewReader(exported[:len(exported)-40]))
+	if !errors.Is(err, ErrBadStats) {
+		t.Fatalf("truncated import err = %v, want ErrBadStats", err)
+	}
+	if !strings.Contains(err.Error(), "line ") {
+		t.Fatalf("truncated import should carry a line diagnostic: %v", err)
+	}
+
+	// Corrupted section: ErrBadStats naming the table.
+	corrupt := strings.Replace(exported, `"card": 1000`, `"card": 1001`, 1)
+	if corrupt == exported {
+		t.Fatal("corruption did not apply")
+	}
+	err = dst.ImportStats(strings.NewReader(corrupt))
+	if !errors.Is(err, ErrBadStats) || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupted import err = %v, want checksum-mismatch ErrBadStats", err)
+	}
+
+	// Nothing was imported, nothing was published.
+	if got := dst.CatalogVersion(); got != version {
+		t.Fatalf("failed imports advanced the catalog version %d -> %d", version, got)
+	}
+	if tables := dst.Tables(); len(tables) != 0 {
+		t.Fatalf("failed imports left tables behind: %v", tables)
 	}
 }
 

@@ -1,0 +1,194 @@
+package els
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cardest"
+	"repro/internal/executor"
+	"repro/internal/faultinject"
+)
+
+// The three structured error types are reachable through errors.As from
+// public API failures, and their messages carry the structured details a
+// caller would otherwise have to parse out.
+func TestStructuredErrorSurface(t *testing.T) {
+	t.Run("BudgetError", func(t *testing.T) {
+		sys := testServeSystem(t)
+		sys.SetLimits(Limits{MaxTuples: 10})
+		_, err := sys.Query(serveJoinSQL, AlgorithmELS)
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("err = %v, want BudgetError", err)
+		}
+		if be.Resource != "tuples" || be.Limit != 10 {
+			t.Fatalf("BudgetError = %+v", be)
+		}
+		for _, want := range []string{"tuples", "10"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("message %q missing %q", err.Error(), want)
+			}
+		}
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Error("BudgetError must unwrap to ErrBudgetExceeded")
+		}
+	})
+
+	t.Run("InternalError", func(t *testing.T) {
+		sys := testServeSystem(t)
+		faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{PanicValue: "kaboom-424242"})
+		defer faultinject.Reset()
+		_, err := sys.Estimate(serveJoinSQL, AlgorithmELS)
+		var ie *InternalError
+		if !errors.As(err, &ie) {
+			t.Fatalf("err = %v, want InternalError", err)
+		}
+		if ie.Value != "kaboom-424242" || len(ie.Stack) == 0 {
+			t.Fatalf("InternalError value %v, stack %d bytes", ie.Value, len(ie.Stack))
+		}
+		if !strings.Contains(err.Error(), "kaboom-424242") {
+			t.Errorf("message %q missing panic value", err.Error())
+		}
+		if !errors.Is(err, ErrInternal) {
+			t.Error("InternalError must unwrap to ErrInternal")
+		}
+	})
+
+	t.Run("OverloadError", func(t *testing.T) {
+		sys := testServeSystem(t)
+		sys.SetLimits(Limits{MaxConcurrent: 1, MaxQueue: 1})
+		// Occupy the only slot with a query slowed by an injected scan
+		// latency, fill the one queue seat with a second query, then
+		// assert the third sheds; cancel unblocks the first two.
+		ctx, cancel := context.WithCancel(context.Background())
+		faultinject.Enable(executor.PointScan, faultinject.Fault{Delay: 10 * time.Second, Times: 1})
+		defer faultinject.Reset()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = sys.QueryContext(ctx, serveJoinSQL, AlgorithmELS)
+		}()
+		for sys.RobustnessStats().InFlight == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = sys.QueryContext(ctx, serveJoinSQL, AlgorithmELS)
+		}()
+		for sys.RobustnessStats().Waiting == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		_, err := sys.Query(serveJoinSQL, AlgorithmELS)
+		var oe *OverloadError
+		if !errors.As(err, &oe) {
+			t.Fatalf("err = %v, want OverloadError", err)
+		}
+		if oe.Reason != "queue full" || oe.MaxConcurrent != 1 {
+			t.Fatalf("OverloadError = %+v", oe)
+		}
+		for _, want := range []string{"overloaded", "queue full", "max-concurrent 1"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("message %q missing %q", err.Error(), want)
+			}
+		}
+		if !errors.Is(err, ErrOverloaded) {
+			t.Error("OverloadError must unwrap to ErrOverloaded")
+		}
+		cancel()
+		wg.Wait()
+	})
+}
+
+// Retry fires only on the transient class: deterministic failures
+// (ErrParse, ErrBadStats) and caller-driven aborts (ErrCanceled) run the
+// pipeline exactly once — or never — regardless of the retry policy.
+func TestRetryNeverFiresOnDeterministicFailures(t *testing.T) {
+	const maxAttempts = 4
+	cases := []struct {
+		name string
+		// arm optionally arms a fault; run issues the query.
+		arm      func()
+		run      func(sys *System) error
+		sentinel error
+		// wantHits is how many times the estimator pipeline may be entered:
+		// 1 for failures inside the pipeline, 0 for failures before it.
+		wantHits int64
+	}{
+		{
+			name: "ErrInternal retries to exhaustion (control)",
+			arm: func() {
+				faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{
+					Err: fmt.Errorf("%w: injected", ErrInternal),
+				})
+			},
+			run: func(sys *System) error {
+				_, err := sys.Estimate(serveJoinSQL, AlgorithmELS)
+				return err
+			},
+			sentinel: ErrInternal,
+			wantHits: maxAttempts,
+		},
+		{
+			name: "ErrBadStats runs once",
+			arm: func() {
+				faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{
+					Err: fmt.Errorf("%w: injected corrupt stats", ErrBadStats),
+				})
+			},
+			run: func(sys *System) error {
+				_, err := sys.Estimate(serveJoinSQL, AlgorithmELS)
+				return err
+			},
+			sentinel: ErrBadStats,
+			wantHits: 1,
+		},
+		{
+			name: "ErrParse never reaches the pipeline",
+			// A no-op fault that only counts pipeline entries.
+			arm: func() { faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{}) },
+			run: func(sys *System) error {
+				_, err := sys.Estimate("SELEC nonsense FROM", AlgorithmELS)
+				return err
+			},
+			sentinel: ErrParse,
+			wantHits: 0,
+		},
+		{
+			name: "ErrCanceled aborts without attempts",
+			arm:  func() { faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{}) },
+			run: func(sys *System) error {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				_, err := sys.EstimateContext(ctx, serveJoinSQL, AlgorithmELS)
+				return err
+			},
+			sentinel: ErrCanceled,
+			wantHits: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			faultinject.Reset()
+			defer faultinject.Reset()
+			sys := testServeSystem(t)
+			sys.SetRetryPolicy(RetryPolicy{MaxAttempts: maxAttempts, BaseDelay: 50 * time.Microsecond, Seed: 1})
+			if tc.arm != nil {
+				tc.arm()
+			}
+			err := tc.run(sys)
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("err = %v, want %v", err, tc.sentinel)
+			}
+			if hits := faultinject.Hits(cardest.PointNewQuery); hits != tc.wantHits {
+				t.Fatalf("pipeline entered %d times, want %d", hits, tc.wantHits)
+			}
+		})
+	}
+}
