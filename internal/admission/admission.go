@@ -1,13 +1,17 @@
 // Package admission bounds how many queries a system serves at once and
 // sheds load when the box is saturated.
 //
-// The Controller is a semaphore plus a deadline queue. A query calls
-// Acquire before doing any work: if a slot is free it is admitted
-// immediately; otherwise it waits until a slot frees, its queue deadline
-// (Config.QueueTimeout) elapses, its own context dies, or the waiting
-// queue is already full (Config.MaxQueue) — the latter two shed the query
-// with governor.ErrOverloaded so callers can distinguish "the system is
-// busy, resubmit later" from a failure of the query itself.
+// The Controller is a semaphore plus a FIFO deadline queue. A query calls
+// Acquire before doing any work: if a slot is free and nobody is queued it
+// is admitted immediately; otherwise it waits until a slot frees, its
+// queue deadline (Config.QueueTimeout) elapses, its own context dies, or
+// the waiting queue is already full (Config.MaxQueue) — the latter two
+// shed the query with governor.ErrOverloaded so callers can distinguish
+// "the system is busy, resubmit later" from a failure of the query itself.
+// Waiters are admitted strictly in arrival order: each waiter owns a grant
+// channel, a freed slot wakes only the head of the queue (no thundering
+// herd), and a newly arriving query never barges past the queue even when
+// a slot is momentarily free.
 //
 // Every admitted query runs under a controller-owned cancelable context,
 // which is what makes graceful drain possible: Close stops admitting
@@ -23,6 +27,7 @@
 package admission
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -94,15 +99,21 @@ func (s *Slot) Release() {
 	s.c.release(s.id)
 }
 
+// waiter is one queued Acquire: a buffered grant channel the controller
+// signals when the waiter should recheck admission. Only the head of the
+// queue is ever signaled.
+type waiter struct {
+	ch chan struct{}
+}
+
 // Controller is the admission gate of one system. The zero Controller is
 // not ready; use New.
 type Controller struct {
 	mu       sync.Mutex
 	cfg      Config
 	inflight int
-	waiting  int
+	waiters  *list.List // of *waiter, FIFO: front is next to admit
 	closed   bool
-	changed  chan struct{} // closed+replaced whenever a waiter should recheck
 	drained  chan struct{} // closed once closed && inflight == 0
 	cancels  map[uint64]context.CancelFunc
 	nextID   uint64
@@ -119,19 +130,20 @@ type Controller struct {
 func New(cfg Config) *Controller {
 	return &Controller{
 		cfg:     cfg,
-		changed: make(chan struct{}),
+		waiters: list.New(),
 		drained: make(chan struct{}),
 		cancels: make(map[uint64]context.CancelFunc),
 	}
 }
 
 // SetConfig replaces the admission limits. Growing MaxConcurrent wakes
-// waiters; shrinking it never evicts already-admitted queries.
+// queued waiters (front first — admissions cascade in FIFO order);
+// shrinking it never evicts already-admitted queries.
 func (c *Controller) SetConfig(cfg Config) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cfg = cfg
-	c.broadcast()
+	c.wakeLocked()
 }
 
 // Closed reports whether Close has been called.
@@ -141,10 +153,35 @@ func (c *Controller) Closed() bool {
 	return c.closed
 }
 
-// broadcast wakes every waiter to recheck admission. Callers hold c.mu.
-func (c *Controller) broadcast() {
-	close(c.changed)
-	c.changed = make(chan struct{})
+// admittableLocked reports whether a slot is free. Callers hold c.mu.
+func (c *Controller) admittableLocked() bool {
+	return c.cfg.MaxConcurrent <= 0 || c.inflight < c.cfg.MaxConcurrent
+}
+
+// wakeLocked grants the head waiter a wake-up when it could make progress
+// (a slot is free, or the controller closed and the waiter must fail
+// fast). The grant channel is buffered, so a pending grant is never lost
+// and granting an already-granted waiter is a no-op. Callers hold c.mu.
+func (c *Controller) wakeLocked() {
+	e := c.waiters.Front()
+	if e == nil {
+		return
+	}
+	if !c.closed && !c.admittableLocked() {
+		return
+	}
+	select {
+	case e.Value.(*waiter).ch <- struct{}{}:
+	default:
+	}
+}
+
+// dequeueLocked removes a waiter that stopped waiting (admitted, shed,
+// canceled, or rejected at close) and passes any progress it could have
+// made on to the new head. Callers hold c.mu.
+func (c *Controller) dequeueLocked(e *list.Element) {
+	c.waiters.Remove(e)
+	c.wakeLocked()
 }
 
 // admitLocked books one admission. Callers hold c.mu.
@@ -160,57 +197,75 @@ func (c *Controller) admitLocked(ctx context.Context, waited time.Duration) *Slo
 }
 
 // Acquire admits the query or sheds it. On success the returned Slot must
-// be Released exactly once (Release is idempotent). The error taxonomy:
-// governor.ErrClosed after Close, governor.ErrOverloaded (as a
-// *governor.OverloadError) when shed, governor.ErrCanceled (or the
-// wall-clock BudgetError) when the caller's own context dies while queued.
+// be Released exactly once (Release is idempotent). Admission is FIFO:
+// a query only bypasses the queue when a slot is free and nobody is
+// waiting. The error taxonomy: governor.ErrClosed after Close,
+// governor.ErrOverloaded (as a *governor.OverloadError) when shed,
+// governor.ErrCanceled (or the wall-clock BudgetError) when the caller's
+// own context dies while queued.
 func (c *Controller) Acquire(ctx context.Context) (*Slot, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	start := time.Now()
-	var timeout <-chan time.Time
 	c.mu.Lock()
-	if !c.closed && c.cfg.MaxConcurrent <= 0 {
+	if c.closed {
+		c.rejectedClosed++
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: draining, not admitting new queries", governor.ErrClosed)
+	}
+	if c.cfg.MaxConcurrent <= 0 {
 		// Fast path: admission control off.
 		s := c.admitLocked(ctx, 0)
 		c.mu.Unlock()
 		return s, nil
 	}
-	if qt := c.cfg.QueueTimeout; qt > 0 {
-		t := time.NewTimer(qt)
+	if c.waiters.Len() == 0 && c.admittableLocked() {
+		s := c.admitLocked(ctx, time.Since(start))
+		c.mu.Unlock()
+		return s, nil
+	}
+	cfg := c.cfg
+	if cfg.MaxQueue > 0 && c.waiters.Len() >= cfg.MaxQueue {
+		c.shedFull++
+		c.mu.Unlock()
+		return nil, &governor.OverloadError{
+			Reason: "queue full", MaxConcurrent: cfg.MaxConcurrent, MaxQueue: cfg.MaxQueue,
+		}
+	}
+	w := &waiter{ch: make(chan struct{}, 1)}
+	elem := c.waiters.PushBack(w)
+	c.wakeLocked() // we may be the new head with a slot already free
+	c.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if cfg.QueueTimeout > 0 {
+		t := time.NewTimer(cfg.QueueTimeout)
 		defer t.Stop()
 		timeout = t.C
 	}
 	for {
-		if c.closed {
-			c.rejectedClosed++
-			c.mu.Unlock()
-			return nil, fmt.Errorf("%w: draining, not admitting new queries", governor.ErrClosed)
-		}
-		cfg := c.cfg
-		if cfg.MaxConcurrent <= 0 || c.inflight < cfg.MaxConcurrent {
-			s := c.admitLocked(ctx, time.Since(start))
-			c.mu.Unlock()
-			return s, nil
-		}
-		if cfg.MaxQueue > 0 && c.waiting >= cfg.MaxQueue {
-			c.shedFull++
-			c.mu.Unlock()
-			return nil, &governor.OverloadError{
-				Reason: "queue full", MaxConcurrent: cfg.MaxConcurrent, MaxQueue: cfg.MaxQueue,
-			}
-		}
-		c.waiting++
-		ch := c.changed
-		c.mu.Unlock()
 		select {
-		case <-ch:
+		case <-w.ch:
 			c.mu.Lock()
-			c.waiting--
+			if c.closed {
+				c.dequeueLocked(elem)
+				c.rejectedClosed++
+				c.mu.Unlock()
+				return nil, fmt.Errorf("%w: draining, not admitting new queries", governor.ErrClosed)
+			}
+			if c.waiters.Front() == elem && c.admittableLocked() {
+				c.dequeueLocked(elem) // cascades any remaining capacity to the next head
+				s := c.admitLocked(ctx, time.Since(start))
+				c.mu.Unlock()
+				return s, nil
+			}
+			// Stale grant (the slot vanished under a SetConfig shrink):
+			// keep our place in line and wait for the next one.
+			c.mu.Unlock()
 		case <-timeout:
 			c.mu.Lock()
-			c.waiting--
+			c.dequeueLocked(elem)
 			c.shedTimeout++
 			c.mu.Unlock()
 			return nil, &governor.OverloadError{
@@ -219,7 +274,7 @@ func (c *Controller) Acquire(ctx context.Context) (*Slot, error) {
 			}
 		case <-ctx.Done():
 			c.mu.Lock()
-			c.waiting--
+			c.dequeueLocked(elem)
 			c.canceledWaiting++
 			c.mu.Unlock()
 			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
@@ -230,8 +285,8 @@ func (c *Controller) Acquire(ctx context.Context) (*Slot, error) {
 	}
 }
 
-// release returns a slot and wakes waiters; the last release after Close
-// completes the drain.
+// release returns a slot and wakes the head waiter; the last release after
+// Close completes the drain.
 func (c *Controller) release(id uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -240,7 +295,7 @@ func (c *Controller) release(id uint64) {
 	if c.inflight < 0 {
 		panic("admission: release without acquire")
 	}
-	c.broadcast()
+	c.wakeLocked()
 	if c.closed && c.inflight == 0 {
 		select {
 		case <-c.drained:
@@ -263,7 +318,14 @@ func (c *Controller) Close(ctx context.Context) error {
 	c.mu.Lock()
 	if !c.closed {
 		c.closed = true
-		c.broadcast() // waiters see closed and fail fast
+		// Wake every waiter directly: all of them must observe closed and
+		// fail fast, not just the head.
+		for e := c.waiters.Front(); e != nil; e = e.Next() {
+			select {
+			case e.Value.(*waiter).ch <- struct{}{}:
+			default:
+			}
+		}
 		if c.inflight == 0 {
 			close(c.drained)
 		}
@@ -301,6 +363,6 @@ func (c *Controller) Snapshot() Stats {
 		CanceledWaiting:  c.canceledWaiting,
 		QueueWait:        time.Duration(c.queueWaitNanos),
 		InFlight:         c.inflight,
-		Waiting:          c.waiting,
+		Waiting:          c.waiters.Len(),
 	}
 }

@@ -3,6 +3,7 @@ package admission
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -251,6 +252,166 @@ func TestSlotAccountingUnderStorm(t *testing.T) {
 	}
 	if admitted.Load()+shed.Load() != 16*50 {
 		t.Fatalf("lost calls: %d admitted + %d shed != %d", admitted.Load(), shed.Load(), 16*50)
+	}
+}
+
+// Waiters are admitted strictly in arrival order: a freed slot goes to the
+// longest-waiting query, never to whoever wins a wake-up race.
+func TestAcquireFIFOOrder(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1})
+	s, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	order := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := c.Acquire(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			s.Release()
+		}(i)
+		// Wait until waiter i is queued before starting i+1, so arrival
+		// order is deterministic.
+		for c.Snapshot().Waiting != i+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s.Release()
+	wg.Wait()
+	close(order)
+	pos := 0
+	for got := range order {
+		if got != pos {
+			t.Fatalf("admission order violated: waiter %d admitted at position %d", got, pos)
+		}
+		pos++
+	}
+}
+
+// A new arrival never barges past the queue: even at the instant a slot is
+// free, a queued waiter gets it first.
+func TestAcquireNoBarging(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1})
+	s, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make(chan *Slot, 1)
+	go func() {
+		s, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		first <- s
+	}()
+	for c.Snapshot().Waiting == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	s.Release()
+	// The freed slot belongs to the queued waiter; a newcomer must queue
+	// behind it, not steal it.
+	got := <-first
+	got.Release()
+	s2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Release()
+}
+
+// Precheck fails fast while the breaker is cooling down but never books
+// the probe: only Allow does, so a query shed between Precheck and Allow
+// leaves the breaker able to probe again.
+func TestBreakerPrecheckDoesNotConsumeProbe(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 5 * time.Millisecond})
+	internal := governor.NewInternal("boom", nil)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(internal)
+	// Cooling down: Precheck rejects.
+	if err := b.Precheck(); !errors.Is(err, governor.ErrOverloaded) {
+		t.Fatalf("cooling Precheck err = %v, want ErrOverloaded", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	// Cooldown over: Precheck passes any number of times without starting
+	// the probe.
+	for i := 0; i < 3; i++ {
+		if err := b.Precheck(); err != nil {
+			t.Fatalf("post-cooldown Precheck %d: %v", i, err)
+		}
+	}
+	if st := b.Snapshot(); st.Probes != 0 || st.State != BreakerOpen {
+		t.Fatalf("Precheck mutated the breaker: %+v", st)
+	}
+	// Allow books the probe; a concurrent Precheck now fails fast.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	if st := b.Snapshot(); st.Probes != 1 || st.State != BreakerHalfOpen {
+		t.Fatalf("Allow did not book the probe: %+v", st)
+	}
+	if err := b.Precheck(); !errors.Is(err, governor.ErrOverloaded) {
+		t.Fatalf("Precheck during probe err = %v, want ErrOverloaded", err)
+	}
+	b.Record(nil)
+	if st := b.Snapshot(); st.State != BreakerClosed {
+		t.Fatalf("after healthy probe: %+v", st)
+	}
+}
+
+// A canceled query is inconclusive: it neither trips nor heals the
+// breaker, and a canceled probe returns the breaker to half-open so the
+// next query probes again.
+func TestBreakerCanceledOutcomeIsInconclusive(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Millisecond})
+	internal := governor.NewInternal("boom", nil)
+	canceled := fmt.Errorf("%w: %w", governor.ErrCanceled, context.Canceled)
+	// One internal error, then a cancellation: the consecutive run must
+	// survive the cancellation and the next internal error opens.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(internal)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(canceled)
+	if st := b.Snapshot(); st.ConsecutiveInternal != 1 {
+		t.Fatalf("cancellation reset the consecutive run: %+v", st)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(internal)
+	if st := b.Snapshot(); st.State != BreakerOpen {
+		t.Fatalf("breaker not open after 2 interleaved internal errors: %+v", st)
+	}
+	time.Sleep(5 * time.Millisecond)
+	// The probe is canceled mid-flight: back to half-open, and the next
+	// query becomes a fresh probe instead of failing fast forever.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Record(canceled)
+	if st := b.Snapshot(); st.State != BreakerHalfOpen || st.Probes != 1 {
+		t.Fatalf("after canceled probe: %+v", st)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("fresh probe rejected after canceled probe: %v", err)
+	}
+	b.Record(nil)
+	if st := b.Snapshot(); st.State != BreakerClosed {
+		t.Fatalf("after healthy second probe: %+v", st)
 	}
 }
 

@@ -97,9 +97,43 @@ func (b *Breaker) SetConfig(cfg BreakerConfig) {
 	b.probing = false
 }
 
+// Precheck is the fail-fast gate taken before the query enters the
+// admission queue: it rejects (counting the rejection) while the breaker
+// is cooling down or another probe is in flight, and otherwise changes
+// nothing — in particular it never books the probe, so a query that
+// passes Precheck but is then shed by admission leaves the breaker
+// exactly as it found it. Allow, called after admission succeeds, is
+// what commits the probe.
+func (b *Breaker) Precheck() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cfg.Threshold <= 0 {
+		return nil
+	}
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if time.Since(b.openedAt) >= b.cfg.Cooldown {
+			return nil // probe candidate: let it try admission
+		}
+	case BreakerHalfOpen:
+		if !b.probing {
+			return nil
+		}
+	}
+	b.rejections++
+	return &governor.OverloadError{Reason: "circuit breaker open"}
+}
+
 // Allow gates one query. It returns nil to let the query run (counting it
 // as the probe when half-open) or a *governor.OverloadError when the
-// breaker is open.
+// breaker is open. Callers must balance every nil return with exactly one
+// Record of the query's final outcome; call it only once the query holds
+// an admission slot, so a shed query can never strand the probe.
 func (b *Breaker) Allow() error {
 	if b == nil {
 		return nil
@@ -130,11 +164,16 @@ func (b *Breaker) Allow() error {
 	return &governor.OverloadError{Reason: "circuit breaker open"}
 }
 
-// Record reports one allowed query's outcome. Only internal errors
-// (governor.ErrInternal) count as failures: a parse error or an exhausted
-// budget says nothing about the health of the pipeline. A successful (or
-// non-internal) probe closes a half-open breaker; a failed probe re-opens
-// it.
+// Record reports one allowed query's final outcome — callers invoke it
+// once per query, after any retry loop, so a query whose early attempts
+// failed but whose retry succeeded counts as one success, and a run of
+// failing attempts inside a single query counts as one failure. Only
+// internal errors (governor.ErrInternal) count as failures: a parse error
+// or an exhausted budget says nothing about the health of the pipeline. A
+// canceled query is inconclusive — it neither trips nor heals the breaker,
+// and a canceled probe returns the breaker to half-open so the next query
+// probes again. A successful (or non-internal) probe closes a half-open
+// breaker; a failed probe re-opens it.
 func (b *Breaker) Record(err error) {
 	if b == nil {
 		return
@@ -144,7 +183,8 @@ func (b *Breaker) Record(err error) {
 	if b.cfg.Threshold <= 0 {
 		return
 	}
-	if err != nil && errors.Is(err, governor.ErrInternal) {
+	switch {
+	case err != nil && errors.Is(err, governor.ErrInternal):
 		b.consecutive++
 		switch {
 		case b.state == BreakerHalfOpen:
@@ -158,12 +198,19 @@ func (b *Breaker) Record(err error) {
 			b.openedAt = time.Now()
 			b.opens++
 		}
-		return
-	}
-	b.consecutive = 0
-	if b.state == BreakerHalfOpen {
-		b.state = BreakerClosed
-		b.probing = false
+	case err != nil && errors.Is(err, governor.ErrCanceled):
+		// Inconclusive: the query never finished, so it proves nothing
+		// about pipeline health either way. Release the probe so the next
+		// query can try.
+		if b.state == BreakerHalfOpen {
+			b.probing = false
+		}
+	default:
+		b.consecutive = 0
+		if b.state == BreakerHalfOpen {
+			b.state = BreakerClosed
+			b.probing = false
+		}
 	}
 }
 

@@ -345,9 +345,17 @@ func formatExplain(est *Estimate) string {
 // ExplainDot plans the query under the algorithm and returns the chosen
 // plan as a Graphviz DOT digraph.
 func (s *System) ExplainDot(sql string, algo Algorithm) (string, error) {
+	return s.ExplainDotContext(context.Background(), sql, algo)
+}
+
+// ExplainDotContext is ExplainDot with governance and admission control
+// (see EstimateContext): plan enumeration is charged to the system's
+// Limits and aborts with a typed error on cancellation or an exhausted
+// budget, like every other serve path.
+func (s *System) ExplainDotContext(ctx context.Context, sql string, algo Algorithm) (string, error) {
 	var out string
-	err := s.serve(context.Background(), func(gov *governor.Governor, snap *snapshot.Snapshot) error {
-		_, plan, _, err := prepare(snap.Catalog(), nil, sql, algo)
+	err := s.serve(ctx, func(gov *governor.Governor, snap *snapshot.Snapshot) error {
+		_, plan, _, err := prepare(snap.Catalog(), gov, sql, algo)
 		if err != nil {
 			return err
 		}

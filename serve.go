@@ -133,8 +133,15 @@ func (s *System) Close(ctx context.Context) error {
 // the opt-in retry loop. fn runs each attempt with the attempt's governor
 // and the snapshot pinned at admission; it must route every catalog read
 // through that snapshot.
+//
+// Breaker ordering matters: Precheck fails fast before the query queues,
+// but the half-open probe is only booked by Allow once the query holds an
+// admission slot, and every successful Allow is balanced by exactly one
+// Record of the query's final outcome. Booking the probe before admission
+// would strand the breaker half-open forever whenever the would-be probe
+// was shed (queue full, queue timeout, canceled while queued, or closed).
 func (s *System) serve(ctx context.Context, fn func(gov *governor.Governor, snap *snapshot.Snapshot) error) error {
-	if err := s.breaker.Allow(); err != nil {
+	if err := s.breaker.Precheck(); err != nil {
 		return err
 	}
 	slot, err := s.adm.Acquire(ctx)
@@ -142,11 +149,22 @@ func (s *System) serve(ctx context.Context, fn func(gov *governor.Governor, snap
 		return err
 	}
 	defer slot.Release()
+	if err := s.breaker.Allow(); err != nil {
+		return err
+	}
+	err = s.attempts(slot, fn)
+	s.breaker.Record(err)
+	return err
+}
+
+// attempts runs the retry loop for one admitted query: the first try plus
+// up to MaxAttempts-1 retries of transient (internal) failures, with
+// seeded backoff between attempts. It returns the query's final outcome.
+func (s *System) attempts(slot *admission.Slot, fn func(gov *governor.Governor, snap *snapshot.Snapshot) error) error {
 	snap := s.store.Current()
 	policy := s.retryPolicy()
 	for attempt := 1; ; attempt++ {
 		err := s.attempt(slot.Context(), slot.Waited(), snap, fn)
-		s.breaker.Record(err)
 		if err == nil {
 			if attempt > 1 {
 				s.retrySuccesses.Add(1)

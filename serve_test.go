@@ -262,6 +262,128 @@ func TestRetryRecoversFromTransientPanic(t *testing.T) {
 	}
 }
 
+// Regression for the probe-leak bug: a probe candidate that passes the
+// breaker but is then shed by admission must not strand the breaker with a
+// phantom in-flight probe — once capacity frees, the next query probes and
+// closes it. (The probe is booked only after a slot is acquired, so a shed
+// between the breaker gate and admission leaves the breaker untouched.)
+func TestBreakerProbeSurvivesAdmissionShed(t *testing.T) {
+	sys := testServeSystem(t)
+	sys.SetBreaker(BreakerPolicy{Threshold: 1, Cooldown: time.Millisecond})
+	// Two slow occupiers admitted while the breaker is closed.
+	faultinject.Enable(executor.PointScan, faultinject.Fault{Delay: 300 * time.Millisecond})
+	defer faultinject.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = sys.QueryContext(ctx, serveJoinSQL, AlgorithmELS)
+		}()
+	}
+	for sys.RobustnessStats().InFlight != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	// Trip the breaker with an injected internal error on a third slot.
+	faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{
+		Err: fmt.Errorf("%w: injected", ErrInternal), Times: 1,
+	})
+	if _, err := sys.Query(serveJoinSQL, AlgorithmELS); !errors.Is(err, ErrInternal) {
+		t.Fatalf("tripping query err = %v, want ErrInternal", err)
+	}
+	if st := sys.RobustnessStats(); st.BreakerState != "open" {
+		t.Fatalf("breaker not open: %+v", st)
+	}
+	time.Sleep(5 * time.Millisecond) // cooldown over: next query is the probe candidate
+	// Saturate admission so the probe candidate is shed after passing the
+	// breaker gate.
+	sys.SetLimits(Limits{MaxConcurrent: 2, MaxQueue: 1, QueueTimeout: 5 * time.Millisecond})
+	_, err := sys.Query(serveJoinSQL, AlgorithmELS)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue timeout" {
+		t.Fatalf("probe candidate err = %v, want queue-timeout OverloadError (it must pass the breaker and be shed by admission)", err)
+	}
+	// Free the slots; the next query must still get to probe and close the
+	// breaker instead of failing fast forever on a leaked probe.
+	cancel()
+	wg.Wait()
+	faultinject.Reset()
+	if _, err := sys.Query(serveJoinSQL, AlgorithmELS); err != nil {
+		t.Fatalf("post-shed probe failed: %v", err)
+	}
+	if st := sys.RobustnessStats(); st.BreakerState != "closed" {
+		t.Fatalf("breaker did not recover after a shed probe candidate: %+v", st)
+	}
+}
+
+// The breaker counts queries, not attempts: a single query whose retries
+// all fail internally contributes one failure to the consecutive run, so
+// it cannot trip a Threshold > 1 by itself.
+func TestBreakerCountsQueriesNotAttempts(t *testing.T) {
+	sys := testServeSystem(t)
+	sys.SetBreaker(BreakerPolicy{Threshold: 2, Cooldown: time.Minute})
+	sys.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond, Seed: 5})
+	faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{
+		Err: fmt.Errorf("%w: injected persistent", ErrInternal),
+	})
+	defer faultinject.Reset()
+	if _, err := sys.Query(serveJoinSQL, AlgorithmELS); !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if st := sys.RobustnessStats(); st.BreakerState != "closed" {
+		t.Fatalf("one query's 3 failed attempts tripped Threshold=2: %+v", st)
+	}
+	if _, err := sys.Query(serveJoinSQL, AlgorithmELS); !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if st := sys.RobustnessStats(); st.BreakerState != "open" || st.BreakerOpens != 1 {
+		t.Fatalf("second failed query must open the breaker: %+v", st)
+	}
+}
+
+// A probe whose first attempt fails but whose retry succeeds closes the
+// breaker: only the query's final outcome is recorded.
+func TestBreakerProbeClosesAfterRetrySuccess(t *testing.T) {
+	sys := testServeSystem(t)
+	sys.SetBreaker(BreakerPolicy{Threshold: 1, Cooldown: time.Millisecond})
+	faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{
+		Err: fmt.Errorf("%w: injected", ErrInternal), Times: 1,
+	})
+	if _, err := sys.Query(serveJoinSQL, AlgorithmELS); !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	// The probe's first attempt hits a fresh transient fault; its retry
+	// succeeds, and that final success must close the breaker.
+	sys.SetRetryPolicy(RetryPolicy{MaxAttempts: 2, BaseDelay: 100 * time.Microsecond, Seed: 9})
+	faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{
+		Err: fmt.Errorf("%w: injected transient", ErrInternal), Times: 1,
+	})
+	defer faultinject.Reset()
+	if _, err := sys.Query(serveJoinSQL, AlgorithmELS); err != nil {
+		t.Fatalf("probe with successful retry failed: %v", err)
+	}
+	if st := sys.RobustnessStats(); st.BreakerState != "closed" {
+		t.Fatalf("successful probe retry did not close the breaker: %+v", st)
+	}
+}
+
+// ExplainDot is governed like every other serve path: cancellation and the
+// plan-enumeration budget abort it with typed errors.
+func TestExplainDotGoverned(t *testing.T) {
+	sys := testServeSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.ExplainDotContext(ctx, serveJoinSQL, AlgorithmELS); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled ExplainDot err = %v, want ErrCanceled", err)
+	}
+	sys.SetLimits(Limits{MaxPlans: 1})
+	if _, err := sys.ExplainDot(serveJoinSQL, AlgorithmELS); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("plan-budget ExplainDot err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
 // The breaker opens after the configured run of internal errors, rejects
 // with ErrOverloaded while open, and half-opens to a probe that closes it.
 func TestBreakerOpensAndRecovers(t *testing.T) {
