@@ -32,6 +32,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/experiment"
 	"repro/internal/governor"
+	"repro/internal/workpool"
 )
 
 func main() {
@@ -92,9 +93,8 @@ func withTimeout(d time.Duration, f func() error) error {
 	if d <= 0 {
 		return f()
 	}
-	done := make(chan error, 1)
 	start := time.Now()
-	go func() { done <- f() }()
+	done := workpool.Async(f)
 	select {
 	case err := <-done:
 		return err

@@ -78,9 +78,8 @@ func withTimeout(d time.Duration, f func() error) error {
 	if d <= 0 {
 		return f()
 	}
-	done := make(chan error, 1)
 	start := time.Now()
-	go func() { done <- f() }()
+	done := workpool.Async(f)
 	select {
 	case err := <-done:
 		return err

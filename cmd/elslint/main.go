@@ -1,0 +1,248 @@
+// Command elslint runs the repro invariant-checker suite
+// (internal/analyzers) over the module. It has two modes:
+//
+// Standalone — load, type-check, and analyze packages directly:
+//
+//	go run ./cmd/elslint ./...
+//	go run ./cmd/elslint -json ./... > lint.json
+//
+// Vettool — speak cmd/go's unitchecker protocol so the suite runs under
+// the build system's dependency-aware driver:
+//
+//	go build -o elslint ./cmd/elslint
+//	go vet -vettool=./elslint ./...
+//
+// Exit status: 0 when clean, 2 when diagnostics were reported, 1 on
+// loading or internal errors.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analyzers"
+)
+
+func main() {
+	args := os.Args[1:]
+	// cmd/go probes the tool for its identity and flags before using it as
+	// a vettool; both probes must answer before normal flag parsing.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		printVersion()
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]") // no tool-specific vet flags
+		return
+	}
+	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		os.Exit(unitcheck(args[len(args)-1]))
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion answers go vet's -V=full probe. cmd/go requires the line
+// "<name> version devel buildID=<id>" and caches vet results under the
+// id, so the id must change when the tool changes: hash the executable.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("elslint version devel buildID=%s\n", id)
+}
+
+// diagJSON is the machine-readable diagnostic record emitted by -json.
+type diagJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// standalone loads the named packages (default ./...) and runs every
+// analyzer over each.
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("elslint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (file, line, col, analyzer, message)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: elslint [-json] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elslint:", err)
+		return 1
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elslint:", err)
+		return 1
+	}
+	var diags []diagJSON
+	for _, pkg := range pkgs {
+		for _, a := range analyzers.All() {
+			found, err := analysis.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "elslint:", err)
+				return 1
+			}
+			for _, d := range found {
+				pos := pkg.Fset.Position(d.Pos)
+				diags = append(diags, diagJSON{
+					File:     relPath(wd, pos.Filename),
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []diagJSON{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "elslint:", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func relPath(wd, name string) string {
+	if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
+// vetConfig is the subset of cmd/go's vet.cfg the unitchecker needs.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package as directed by a vet.cfg file, following
+// the cmd/go vettool protocol: diagnostics go to stderr, the fact file
+// named by VetxOutput must be written, and the exit status is 2 when
+// anything was reported.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elslint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "elslint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The suite exports no facts, but cmd/go expects the vetx file; write
+	// it first so even a typecheck failure leaves the protocol satisfied.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "elslint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	goFiles := make([]string, len(cfg.GoFiles))
+	for i, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		goFiles[i] = f
+	}
+	pkg, err := analysis.CheckFiles(fset, cfg.ImportPath, goFiles, cfgImporter(&cfg).Importer(fset))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "elslint:", err)
+		return 1
+	}
+	exit := 0
+	for _, a := range analyzers.All() {
+		found, err := analysis.Run(a, pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elslint:", err)
+			return 1
+		}
+		for _, d := range found {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), a.Name, d.Message)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// cfgImporter resolves imports through the export files cmd/go listed in
+// the vet.cfg (ImportMap aliases source paths; PackageFile locates the
+// compiled export data).
+func cfgImporter(cfg *vetConfig) *analysis.ExportIndex {
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if f, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = f
+		}
+	}
+	return analysis.NewExportIndex(exports)
+}

@@ -120,7 +120,7 @@ func (a Algorithm) config() (cardest.Config, error) {
 		cfg.Sel.HistogramJoins = true
 		return cfg, nil
 	default:
-		return cardest.Config{}, fmt.Errorf("els: unknown algorithm %d", int(a))
+		return cardest.Config{}, fmt.Errorf("%w: unknown algorithm %d", ErrParse, int(a))
 	}
 }
 
@@ -195,7 +195,7 @@ func (s *System) mutate(fn func(*catalog.Catalog) error) error {
 // Estimation works on declared tables; execution requires loaded data.
 func (s *System) DeclareStats(name string, rows float64, distinct map[string]float64) error {
 	if name == "" {
-		return fmt.Errorf("els: table name required")
+		return fmt.Errorf("%w: table name required", ErrBadStats)
 	}
 	if rows < 0 {
 		return fmt.Errorf("%w: negative cardinality %g for table %s", ErrBadStats, rows, name)
@@ -230,10 +230,10 @@ func (s *System) LoadTableHist(name string, columns []string, rows [][]int64, bu
 
 func (s *System) loadTable(name string, columns []string, rows [][]int64, opts catalog.AnalyzeOptions) error {
 	if name == "" {
-		return fmt.Errorf("els: table name required")
+		return fmt.Errorf("%w: table name required", ErrBadStats)
 	}
 	if len(columns) == 0 {
-		return fmt.Errorf("els: at least one column required")
+		return fmt.Errorf("%w: at least one column required", ErrBadStats)
 	}
 	defs := make([]storage.ColumnDef, len(columns))
 	for i, c := range columns {
@@ -247,7 +247,7 @@ func (s *System) loadTable(name string, columns []string, rows [][]int64, opts c
 	vals := make([]storage.Value, len(columns))
 	for ri, row := range rows {
 		if len(row) != len(columns) {
-			return fmt.Errorf("els: row %d has %d values, want %d", ri, len(row), len(columns))
+			return fmt.Errorf("%w: row %d has %d values, want %d", ErrBadStats, ri, len(row), len(columns))
 		}
 		for ci, v := range row {
 			vals[ci] = storage.Int64(v)
@@ -312,7 +312,7 @@ func (s *System) GenerateTable(name, column, dist string, rows, domain int, thet
 	case "sequential":
 		d = datagen.DistSequential
 	default:
-		return fmt.Errorf("els: unknown distribution %q", dist)
+		return fmt.Errorf("%w: unknown distribution %q", ErrParse, dist)
 	}
 	tbl, err := datagen.Generate(datagen.TableSpec{
 		Name: name,
@@ -380,7 +380,7 @@ func hasAnyIndex(cat *catalog.Catalog) bool {
 func (s *System) TableCard(name string) (float64, error) {
 	ts := s.catalogNow().Table(name)
 	if ts == nil {
-		return 0, fmt.Errorf("els: unknown table %q", name)
+		return 0, fmt.Errorf("%w: unknown table %q", ErrParse, name)
 	}
 	return ts.Card, nil
 }
@@ -389,7 +389,7 @@ func (s *System) TableCard(name string) (float64, error) {
 func (s *System) TableColumns(name string) ([]string, error) {
 	ts := s.catalogNow().Table(name)
 	if ts == nil {
-		return nil, fmt.Errorf("els: unknown table %q", name)
+		return nil, fmt.Errorf("%w: unknown table %q", ErrParse, name)
 	}
 	out := make([]string, 0, len(ts.Columns))
 	for _, cs := range ts.Columns {
@@ -403,11 +403,11 @@ func (s *System) TableColumns(name string) ([]string, error) {
 func (s *System) ColumnDistinct(table, column string) (float64, error) {
 	ts := s.catalogNow().Table(table)
 	if ts == nil {
-		return 0, fmt.Errorf("els: unknown table %q", table)
+		return 0, fmt.Errorf("%w: unknown table %q", ErrParse, table)
 	}
 	cs := ts.Column(column)
 	if cs == nil {
-		return 0, fmt.Errorf("els: table %q has no column %q", table, column)
+		return 0, fmt.Errorf("%w: table %q has no column %q", ErrParse, table, column)
 	}
 	return cs.Distinct, nil
 }

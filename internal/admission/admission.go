@@ -205,7 +205,7 @@ func (c *Controller) admitLocked(ctx context.Context, waited time.Duration) *Slo
 // own context dies while queued.
 func (c *Controller) Acquire(ctx context.Context) (*Slot, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //ctxflow:allow nil-context compatibility default
 	}
 	start := time.Now()
 	c.mu.Lock()
@@ -313,7 +313,7 @@ func (c *Controller) release(id uint64) {
 // same drain.
 func (c *Controller) Close(ctx context.Context) error {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //ctxflow:allow nil-context compatibility default
 	}
 	c.mu.Lock()
 	if !c.closed {

@@ -1,0 +1,77 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver API, just large enough to host the
+// elslint invariant checkers (internal/analyzers) and their analysistest
+// suites without adding a module dependency.
+//
+// The shapes mirror x/tools deliberately — Analyzer{Name, Doc, Run},
+// Pass{Fset, Files, Pkg, TypesInfo, Report} — so every analyzer written
+// against this package ports to the real go/analysis API verbatim if the
+// dependency is ever vendored. Facts, analyzer requirements, and result
+// passing are intentionally omitted: the elslint suite is five independent
+// single-package checkers.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -json output.
+	Name string
+	// Doc states the enforced invariant, first line first.
+	Doc string
+	// Run applies the analyzer to one package. It reports findings through
+	// Pass.Report/Reportf and returns an error only for analyzer
+	// malfunctions, never for findings.
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the package's parsed files (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checking results for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Message states the contract violation and the expected idiom.
+	Message string
+}
+
+// IsTestFile reports whether file was parsed from a _test.go file. The
+// elslint contracts deliberately exempt tests (tests spawn goroutines,
+// build root contexts, and fabricate errors by design).
+func IsTestFile(fset *token.FileSet, file *ast.File) bool {
+	return strings.HasSuffix(fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// PathHasSuffix reports whether the import path equals suffix or ends with
+// "/"+suffix. Analyzers match packages by path suffix so that their
+// analysistest testdata packages (loaded under short synthetic paths such
+// as "internal/workpool") exercise the same allow/deny decisions as the
+// real module packages ("repro/internal/workpool").
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

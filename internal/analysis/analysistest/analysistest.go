@@ -1,0 +1,216 @@
+// Package analysistest runs an analyzer over testdata packages and checks
+// its diagnostics against expectations written in the sources, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Each expectation is a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// on the line where a diagnostic is expected. Every diagnostic must match
+// exactly one expectation on its line and every expectation must be
+// consumed, so tests pin both that violations are caught and that accepted
+// idioms stay silent.
+//
+// Testdata layout follows the x/tools convention: the files of package
+// pattern P live in testdata/src/P/ relative to the test. Testdata may
+// import standard-library and repro/... packages; imports are resolved
+// offline through the build cache (see analysis.ResolveExports).
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run applies a to each testdata package named by patterns and reports
+// mismatches between diagnostics and // want expectations through t.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	for _, pat := range patterns {
+		runPkg(t, a, pat)
+	}
+}
+
+func runPkg(t *testing.T, a *analysis.Analyzer, pattern string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pattern))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("%s: no testdata sources in %s (%v)", pattern, dir, err)
+	}
+	sort.Strings(names)
+
+	imp, err := testdataImporter(names)
+	if err != nil {
+		t.Fatalf("%s: resolving imports: %v", pattern, err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := analysis.CheckFiles(fset, pattern, names, imp)
+	if err != nil {
+		t.Fatalf("%s: %v", pattern, err)
+	}
+
+	diags, err := analysis.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", pattern, err)
+	}
+
+	expects := collectExpectations(t, fset, pkg)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := posKey{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for _, e := range expects[key] {
+			if !e.used && e.re.MatchString(d.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pattern, pos, d.Message)
+		}
+	}
+	for key, es := range expects {
+		for _, e := range es {
+			if !e.used {
+				t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+					pattern, key.file, key.line, e.re.String())
+			}
+		}
+	}
+}
+
+// importerFunc adapts a function to types.Importer; the nil function
+// serves import-free testdata packages.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) {
+	if f == nil {
+		return nil, fmt.Errorf("testdata package imports nothing, cannot import %q", path)
+	}
+	return f(path)
+}
+
+// testdataImporter resolves the testdata files' imports (and their
+// transitive dependencies) into a types.Importer backed by export data.
+func testdataImporter(names []string) (importerFunc, error) {
+	seen := map[string]bool{}
+	ifset := token.NewFileSet()
+	for _, name := range names {
+		f, err := parser.ParseFile(ifset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, im := range f.Imports {
+			if p, err := strconv.Unquote(im.Path.Value); err == nil {
+				seen[p] = true
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return nil, nil
+	}
+	patterns := make([]string, 0, len(seen))
+	for p := range seen {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := analysis.ResolveExports(wd, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return ix.Importer(token.NewFileSet()).Import, nil
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectExpectations scans every comment of the package for // want
+// clauses and indexes them by (file, line).
+func collectExpectations(t *testing.T, fset *token.FileSet, pkg *analysis.Package) map[posKey][]*expectation {
+	t.Helper()
+	out := make(map[posKey][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := posKey{filepath.Base(pos.Filename), pos.Line}
+				for _, pat := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					out[key] = append(out[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted extracts the double-quoted or backquoted regexps from a want
+// clause tail such as `"first" "second"`.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return out
+			}
+			if unq, err := strconv.Unquote(s[:end+1]); err == nil {
+				out = append(out, unq)
+			}
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = s[2+end:]
+		default:
+			return out
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func work(ctx context.Context) error { return nil }
+
+// threaded is the accepted idiom: the received ctx (and contexts derived
+// from it) flows to every callee.
+func threaded(ctx context.Context) error {
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(cctx)
+}
+
+func root() error {
+	ctx := context.Background() // want `context.Background`
+	return work(ctx)
+}
+
+func severed(ctx context.Context) error {
+	probe := context.TODO() // want `context.TODO`
+	return work(probe)      // want `does not derive`
+}
+
+func annotated(ctx context.Context) error {
+	//ctxflow:allow fixture: detached audit write outlives the request
+	audit := context.Background()
+	return work(audit)
+}

@@ -1,0 +1,19 @@
+package a
+
+import "context"
+
+// Regression fixture modeled on the PR 3 breaker-probe leak: the serve
+// path received the request context but ran the half-open probe under a
+// fresh root context, so cancelling the request could no longer unwind
+// the probe and the breaker stayed half-open forever.
+
+func probeSevered(ctx context.Context, probe func(context.Context) error) error {
+	probeCtx := context.Background() // want `context.Background`
+	return probe(probeCtx)           // want `does not derive`
+}
+
+func probeThreaded(ctx context.Context, probe func(context.Context) error) error {
+	probeCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return probe(probeCtx)
+}

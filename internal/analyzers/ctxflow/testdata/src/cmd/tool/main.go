@@ -1,0 +1,13 @@
+// Command tool shows the cmd/ exemption: a main package is where root
+// contexts are supposed to be born.
+package main
+
+import "context"
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,11 @@
+package errtaxonomy
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	analysistest.Run(t, Analyzer, "els", "other")
+}

@@ -1,0 +1,33 @@
+package els
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinel definitions are the one sanctioned errors.New
+// site: this is where the taxonomy itself is born.
+var ErrParse = errors.New("els: parse error")
+
+func adHoc() error {
+	return errors.New("els: boom") // want `wraps no taxonomy sentinel`
+}
+
+func unwrapped(name string) error {
+	return fmt.Errorf("els: unknown table %q", name) // want `wraps no taxonomy sentinel`
+}
+
+func wrapped(name string) error {
+	return fmt.Errorf("%w: unknown table %q", ErrParse, name)
+}
+
+func rewrapped(err error) error {
+	// Re-wrapping an error that already carries its classification keeps
+	// the chain intact; provenance is checked where the error was built.
+	return fmt.Errorf("els: loading stats: %w", err)
+}
+
+func dynamicFormat(format string) error {
+	// A non-literal format cannot be checked statically and is left alone.
+	return fmt.Errorf(format)
+}

@@ -1,0 +1,26 @@
+package els
+
+import "fmt"
+
+// Regression fixture modeled on the PR 3 breaker-probe leak: the serve
+// path shed a half-open probe candidate and reported the shed with an
+// ad-hoc error, so callers classifying by sentinel saw an unclassifiable
+// failure. The taxonomy-correct form wraps ErrOverloaded.
+
+var ErrOverloaded = fmt.Errorf("els: overloaded")
+
+type breaker struct{ halfOpen bool }
+
+func (b *breaker) shedProbeAdHoc() error {
+	if b.halfOpen {
+		return fmt.Errorf("els: breaker probe shed before slot acquire") // want `wraps no taxonomy sentinel`
+	}
+	return nil
+}
+
+func (b *breaker) shedProbeClassified() error {
+	if b.halfOpen {
+		return fmt.Errorf("%w: breaker probe shed before slot acquire", ErrOverloaded)
+	}
+	return nil
+}

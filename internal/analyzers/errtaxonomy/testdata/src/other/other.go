@@ -1,0 +1,10 @@
+// Package other shows the taxonomy contract binds only the public els
+// package: internal packages may build plain errors for the boundary to
+// classify.
+package other
+
+import "errors"
+
+func plain() error {
+	return errors.New("other: plain error is fine here")
+}

@@ -1,0 +1,11 @@
+package governorcharge
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGovernorCharge(t *testing.T) {
+	analysistest.Run(t, Analyzer, "internal/executor", "other")
+}

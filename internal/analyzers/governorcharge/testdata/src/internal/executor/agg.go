@@ -1,0 +1,69 @@
+// Package executor stands in for the real executor: the analyzer matches
+// by call name, so local stubs exercise the same decisions.
+package executor
+
+type table struct{}
+
+func (t *table) AppendRow(vals ...int) error { return nil }
+
+type gov struct{}
+
+func (g *gov) TickTuples(n int64) error { return nil }
+func (g *gov) TickRows(n int64) error   { return nil }
+
+type executor struct{ gov *gov }
+
+func (e *executor) emit(out *table, row []int) error {
+	if err := e.gov.TickRows(1); err != nil {
+		return err
+	}
+	return out.AppendRow(row...)
+}
+
+func uncharged(out *table, n int) error {
+	for i := 0; i < n; i++ { // want `lacks a governor charge`
+		if err := out.AppendRow(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func unchargedRange(out *table, rows [][]int) error {
+	for _, r := range rows { // want `lacks a governor charge`
+		if err := out.AppendRow(r...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func chargedDirect(e *executor, out *table, n int) error {
+	for i := 0; i < n; i++ {
+		if err := e.gov.TickRows(1); err != nil {
+			return err
+		}
+		if err := out.AppendRow(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func chargedViaEmit(e *executor, out *table, rows [][]int) error {
+	for _, r := range rows {
+		if err := e.emit(out, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rowless loops have nothing to account.
+func rowless(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}

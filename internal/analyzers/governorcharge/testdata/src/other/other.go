@@ -1,0 +1,16 @@
+// Package other shows the charge contract binds only internal/executor;
+// other packages may batch-append without a governor.
+package other
+
+type table struct{}
+
+func (t *table) AppendRow(vals ...int) error { return nil }
+
+func fill(out *table, n int) error {
+	for i := 0; i < n; i++ {
+		if err := out.AppendRow(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package nakedgoroutine
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestNakedGoroutine(t *testing.T) {
+	analysistest.Run(t, Analyzer, "b", "internal/workpool", "internal/admission")
+}

@@ -1,0 +1,7 @@
+package b
+
+// Tests spawn goroutines by design; _test.go files are exempt.
+
+func helperForTests(f func()) {
+	go f()
+}

@@ -1,0 +1,7 @@
+// Package admission is the other sanctioned spawner: slot bookkeeping
+// goroutines are part of the accounting itself.
+package admission
+
+func grantAsync(grant chan<- struct{}) {
+	go func() { grant <- struct{}{} }()
+}

@@ -1,0 +1,11 @@
+package snapshotmut
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSnapshotMut(t *testing.T) {
+	analysistest.Run(t, Analyzer, "internal/feature", "internal/snapshot")
+}

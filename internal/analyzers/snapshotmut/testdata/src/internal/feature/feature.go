@@ -1,0 +1,46 @@
+// Package feature exercises the copy-on-write contract from outside the
+// snapshot builder.
+package feature
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/snapshot"
+)
+
+func mutatePublished(store *snapshot.Store) {
+	cat := store.Current().Catalog()
+	cat.MustAddTable(&catalog.TableStats{Name: "r", Card: 1}) // want `copy-on-write`
+	cat.Table("r").Card = 9                                   // want `copy-on-write`
+	delete(cat.Table("r").Columns, "a")                       // want `copy-on-write`
+	store.Current().Catalog().SetData("r", nil)               // want `copy-on-write`
+}
+
+func mutateViaSnapshot(snap *snapshot.Snapshot) {
+	snap.Catalog().Table("r").Column("a").Distinct = 3 // want `copy-on-write`
+}
+
+// cloneThenMutate is the sanctioned idiom outside the builder: Clone
+// detaches, and writes to the detached copy are free.
+func cloneThenMutate(store *snapshot.Store) *catalog.Catalog {
+	clone := store.Current().Catalog().Clone()
+	clone.MustAddTable(&catalog.TableStats{Name: "r", Card: 1})
+	clone.Table("r").Card = 9
+	return clone
+}
+
+// builderCallback mirrors Store.Mutate's contract: the callback owns the
+// clone it is handed, so parameter mutation is legitimate (the analyzer
+// never treats parameters as published).
+func builderCallback(cat *catalog.Catalog) error {
+	cat.Table("r").Card = 12
+	return cat.AddTable(&catalog.TableStats{Name: "s", Card: 2})
+}
+
+// readOnly traversal of a published snapshot is of course fine.
+func readOnly(store *snapshot.Store) float64 {
+	ts := store.Current().Catalog().Table("r")
+	if ts == nil {
+		return 0
+	}
+	return ts.Card
+}

@@ -1,0 +1,12 @@
+// Package snapshot stands in for the real builder: the package that owns
+// publication writes to its own catalogs by definition, so the analyzer
+// skips it entirely.
+package snapshot
+
+type Snapshot struct{ m map[string]int }
+
+func (s *Snapshot) Catalog() map[string]int { return s.m }
+
+func (s *Snapshot) set(k string, v int) {
+	s.Catalog()[k] = v
+}

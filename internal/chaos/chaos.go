@@ -29,6 +29,7 @@ import (
 	"repro/internal/cardest"
 	"repro/internal/executor"
 	"repro/internal/faultinject"
+	"repro/internal/workpool"
 )
 
 // Config shapes one chaos storm. The zero value is usable: Run fills in
@@ -155,16 +156,21 @@ func Run(cfg Config) (*Report, error) {
 		h.sys.SetBreaker(cfg.Breaker)
 	}
 
+	// All storm goroutines run under workpool.Go: a panic in a harness
+	// goroutine is recovered into an error and recorded as a violation
+	// instead of crashing the soak run.
 	stop := make(chan struct{})
+	onPanic := func(err error) {
+		h.violation(fmt.Sprintf("chaos: background goroutine failed: %v", err))
+	}
 	var background sync.WaitGroup
-	background.Add(2)
-	go h.mutator(stop, &background)
-	go h.faulter(stop, &background)
+	workpool.Go(&background, onPanic, func() error { h.mutator(stop); return nil })
+	workpool.Go(&background, onPanic, func() error { h.faulter(stop); return nil })
 
 	var workers sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
-		workers.Add(1)
-		go h.worker(w, &workers)
+		w := w
+		workpool.Go(&workers, onPanic, func() error { h.worker(w); return nil })
 	}
 	workers.Wait()
 	close(stop)
@@ -202,8 +208,7 @@ func (h *harness) seed() error {
 // until told to stop. It is the only mutator, so reading the catalog
 // version right after a successful publish identifies the version that
 // publish created.
-func (h *harness) mutator(stop <-chan struct{}, wg *sync.WaitGroup) {
-	defer wg.Done()
+func (h *harness) mutator(stop <-chan struct{}) {
 	rng := rand.New(rand.NewSource(h.cfg.Seed + 1))
 	for i := 1; ; i++ {
 		select {
@@ -228,8 +233,7 @@ func (h *harness) mutator(stop <-chan struct{}, wg *sync.WaitGroup) {
 // faulter keeps arming random probe points with random faults: taxonomy
 // errors, panics, and latency. Fault errors always wrap ErrInternal so the
 // taxonomy audit can tell injected failures from leaks.
-func (h *harness) faulter(stop <-chan struct{}, wg *sync.WaitGroup) {
-	defer wg.Done()
+func (h *harness) faulter(stop <-chan struct{}) {
 	rng := rand.New(rand.NewSource(h.cfg.Seed + 2))
 	points := []string{
 		cardest.PointNewQuery,
@@ -266,8 +270,7 @@ func (h *harness) faulter(stop <-chan struct{}, wg *sync.WaitGroup) {
 
 // worker issues OpsPerWorker random operations against the system,
 // classifying every outcome.
-func (h *harness) worker(id int, wg *sync.WaitGroup) {
-	defer wg.Done()
+func (h *harness) worker(id int) {
 	rng := rand.New(rand.NewSource(h.cfg.Seed + 100 + int64(id)))
 	for i := 0; i < h.cfg.OpsPerWorker; i++ {
 		op := rng.Intn(5)
@@ -294,6 +297,7 @@ func (h *harness) worker(id int, wg *sync.WaitGroup) {
 			_, err = h.sys.Estimate(stormSQL[rng.Intn(len(stormSQL))], els.AlgorithmSM)
 		case 4:
 			opName = "query-deadline"
+			//ctxflow:allow the storm deliberately issues root-context deadline ops
 			ctx, cancel := context.WithTimeout(context.Background(),
 				time.Duration(rng.Intn(10)+1)*time.Millisecond)
 			_, err = h.sys.QueryContext(ctx, stormSQL[rng.Intn(len(stormSQL))], els.AlgorithmELS)
@@ -352,6 +356,7 @@ func (h *harness) violation(msg string) {
 
 // audit drains the system and checks the end-of-storm contracts.
 func (h *harness) audit() {
+	//ctxflow:allow end-of-storm drain runs after every caller context is gone
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := h.sys.Close(ctx); err != nil {

@@ -64,12 +64,14 @@ type aggState struct {
 }
 
 // Aggregate hash-groups the input by the groupCols ordinals and computes
-// the aggregates per group, in the SQL semantics: NULL values are skipped
-// by column aggregates, NULL group keys form their own group, and with no
-// grouping columns a single group is produced even over empty input.
-// Output columns are the group columns (in order) followed by the
-// aggregates. Groups are emitted in a deterministic (key-sorted) order.
-func Aggregate(tbl *storage.Table, groupCols []int, aggs []AggSpec) (*storage.Table, error) {
+// the aggregates per group under the executor's governor — ungoverned
+// grouping was the one row-producing path that escaped budget accounting.
+// It follows the SQL semantics: NULL values are skipped by column
+// aggregates, NULL group keys form their own group, and with no grouping
+// columns a single group is produced even over empty input. Output columns
+// are the group columns (in order) followed by the aggregates. Groups are
+// emitted in a deterministic (key-sorted) order.
+func (e *Executor) Aggregate(tbl *storage.Table, groupCols []int, aggs []AggSpec) (*storage.Table, error) {
 	if tbl == nil {
 		return nil, fmt.Errorf("executor: Aggregate(nil)")
 	}
@@ -128,6 +130,9 @@ func Aggregate(tbl *storage.Table, groupCols []int, aggs []AggSpec) (*storage.Ta
 		return k
 	}
 	for r := 0; r < tbl.NumRows(); r++ {
+		if err := e.gov.TickTuples(1); err != nil {
+			return nil, err
+		}
 		k := keyOf(r)
 		g, ok := groups[k]
 		if !ok {
@@ -208,9 +213,15 @@ func Aggregate(tbl *storage.Table, groupCols []int, aggs []AggSpec) (*storage.Ta
 				}
 			}
 		}
-		if err := out.AppendRow(row...); err != nil {
+		if err := e.emit(out, row); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// Aggregate is the ungoverned compatibility form: grouping with no budget
+// attached (a nil governor never trips).
+func Aggregate(tbl *storage.Table, groupCols []int, aggs []AggSpec) (*storage.Table, error) {
+	return (&Executor{}).Aggregate(tbl, groupCols, aggs)
 }

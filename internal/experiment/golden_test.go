@@ -23,7 +23,7 @@ func TestSection8GoldenEstimates(t *testing.T) {
 		sizes     []string
 	}{
 		{"SM", "S M B G", []string{"100", "100", "100"}},
-		{"SM", "S B M G", []string{"0.2", "4e-08", "4e-21"}},  // paper: (0.2, 4·10⁻⁸, 4·10⁻²¹)
+		{"SM", "S B M G", []string{"0.2", "4e-08", "4e-21"}},   // paper: (0.2, 4·10⁻⁸, 4·10⁻²¹)
 		{"SSS", "S B M G", []string{"0.2", "0.0004", "4e-07"}}, // paper: (0.2, 4·10⁻⁴, 4·10⁻⁷)
 		{"ELS", "S B M G", []string{"100", "100", "100"}},      // paper: (100, 100, 100)
 	}

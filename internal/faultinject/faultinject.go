@@ -114,7 +114,7 @@ func Fire(point string) (Fault, bool) {
 // PanicValue is set, otherwise returning Err (which may be nil for
 // payload- or delay-only faults).
 func Check(point string) error {
-	return CheckCtx(context.Background(), point)
+	return CheckCtx(context.Background(), point) //ctxflow:allow context-less probe shim for ungoverned sites
 }
 
 // CheckCtx is Check with an interruptible Delay: if ctx dies while the

@@ -190,7 +190,7 @@ type Governor struct {
 // context.Background()).
 func New(ctx context.Context, limits Limits) *Governor {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //ctxflow:allow nil-context compatibility default
 	}
 	g := &Governor{ctx: ctx, limits: limits, start: time.Now()}
 	if limits.Timeout > 0 {
@@ -203,7 +203,7 @@ func New(ctx context.Context, limits Limits) *Governor {
 // governor).
 func (g *Governor) Context() context.Context {
 	if g == nil || g.ctx == nil {
-		return context.Background()
+		return context.Background() //ctxflow:allow nil governor has no context to return
 	}
 	return g.ctx
 }

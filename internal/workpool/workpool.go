@@ -13,8 +13,11 @@ package workpool
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/governor"
 )
 
 // DefaultWorkers resolves a requested worker count: values ≤ 0 select
@@ -109,4 +112,49 @@ func Run(workers, n int, task func(i int) error) error {
 func runTask(task func(i int) error, i int) (err error, pval any) {
 	defer func() { pval = recover() }()
 	return task(i), nil
+}
+
+// Go spawns f on a new goroutine registered with wg. A panic in f is
+// recovered into a *governor.InternalError and delivered to onErr, as is
+// any error f returns; onErr may be nil when the caller only needs the
+// panic containment. Go is the sanctioned primitive for long-lived
+// background goroutines (mutators, fault schedulers, soak workers) that
+// do not fit Run's fixed task-set shape — spawning them raw would bypass
+// the panic→ErrInternal mapping the serving layer's taxonomy promises.
+func Go(wg *sync.WaitGroup, onErr func(error), f func() error) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err, pval := runTask(func(int) error { return f() }, 0)
+		if pval != nil {
+			err = governor.NewInternal(pval, debug.Stack())
+		}
+		if err != nil && onErr != nil {
+			onErr(err)
+		}
+	}()
+}
+
+// Async runs f on a new goroutine and returns a buffered channel that
+// receives f's result exactly once; a panic in f arrives as a
+// *governor.InternalError rather than crashing the process. It is the
+// sanctioned shape for call-with-timeout helpers:
+//
+//	done := workpool.Async(f)
+//	select {
+//	case err := <-done:
+//		...
+//	case <-ctx.Done():
+//		...
+//	}
+func Async(f func() error) <-chan error {
+	done := make(chan error, 1)
+	go func() {
+		err, pval := runTask(func(int) error { return f() }, 0)
+		if pval != nil {
+			err = governor.NewInternal(pval, debug.Stack())
+		}
+		done <- err
+	}()
+	return done
 }

@@ -222,7 +222,7 @@ func estimateGroups(q *sqlparse.Query, plan optimizer.Plan, opt *optimizer.Optim
 // the query, and returns the estimates without executing anything. It works
 // on both declared-statistics and loaded tables.
 func (s *System) Estimate(sql string, algo Algorithm) (*Estimate, error) {
-	return s.EstimateContext(context.Background(), sql, algo)
+	return s.EstimateContext(context.Background(), sql, algo) //ctxflow:allow context-less compatibility wrapper
 }
 
 // EstimateContext is Estimate governed by a context and the system's
@@ -253,7 +253,7 @@ func (s *System) EstimateContext(ctx context.Context, sql string, algo Algorithm
 // of the FROM clause in the desired sequence), as the paper's worked
 // examples do.
 func (s *System) EstimateOrder(sql string, algo Algorithm, order []string) (*Estimate, error) {
-	return s.EstimateOrderContext(context.Background(), sql, algo, order)
+	return s.EstimateOrderContext(context.Background(), sql, algo, order) //ctxflow:allow context-less compatibility wrapper
 }
 
 // EstimateOrderContext is EstimateOrder with governance and admission
@@ -299,7 +299,7 @@ func (s *System) EstimateOrderContext(ctx context.Context, sql string, algo Algo
 // Explain returns a human-readable report: implied predicates, the chosen
 // plan, and the per-step estimates.
 func (s *System) Explain(sql string, algo Algorithm) (string, error) {
-	return s.ExplainContext(context.Background(), sql, algo)
+	return s.ExplainContext(context.Background(), sql, algo) //ctxflow:allow context-less compatibility wrapper
 }
 
 // ExplainContext is Explain with governance and admission control (see
@@ -345,7 +345,7 @@ func formatExplain(est *Estimate) string {
 // ExplainDot plans the query under the algorithm and returns the chosen
 // plan as a Graphviz DOT digraph.
 func (s *System) ExplainDot(sql string, algo Algorithm) (string, error) {
-	return s.ExplainDotContext(context.Background(), sql, algo)
+	return s.ExplainDotContext(context.Background(), sql, algo) //ctxflow:allow context-less compatibility wrapper
 }
 
 // ExplainDotContext is ExplainDot with governance and admission control
@@ -371,7 +371,7 @@ func (s *System) ExplainDotContext(ctx context.Context, sql string, algo Algorit
 // Query plans and executes the SQL under the selected algorithm. Every
 // table referenced must have loaded data (LoadTable/GenerateTable).
 func (s *System) Query(sql string, algo Algorithm) (*Result, error) {
-	return s.QueryContext(context.Background(), sql, algo)
+	return s.QueryContext(context.Background(), sql, algo) //ctxflow:allow context-less compatibility wrapper
 }
 
 // QueryContext is Query governed by a context and the system's Limits:
@@ -425,7 +425,7 @@ func (s *System) queryOn(snap *snapshot.Snapshot, gov *governor.Governor, sql st
 	}
 	out.Estimate.GroupEstimate = estimateGroups(q, plan, opt)
 	if len(q.Select) > 0 {
-		return s.aggregateResult(q, res, out)
+		return s.aggregateResult(q, exec, res, out)
 	}
 	if !q.CountStar {
 		// Materialize (a cap of) the projected rows.
@@ -440,7 +440,7 @@ func (s *System) queryOn(snap *snapshot.Snapshot, gov *governor.Governor, sql st
 			for _, ref := range q.Projection {
 				idx := schema.ColumnIndex(ref.Table + "." + ref.Column)
 				if idx < 0 {
-					return nil, fmt.Errorf("els: projection column %s missing from result", ref)
+					return nil, fmt.Errorf("%w: projection column %s missing from result", ErrInternal, ref)
 				}
 				cols = append(cols, idx)
 				out.Columns = append(out.Columns, ref.String())
@@ -465,7 +465,7 @@ func (s *System) queryOn(snap *snapshot.Snapshot, gov *governor.Governor, sql st
 // in algos (all algorithms if empty), returning results in order. All
 // executions must produce the same count; an inconsistency is an error.
 func (s *System) CompareAlgorithms(sql string, algos ...Algorithm) ([]*Result, error) {
-	return s.CompareAlgorithmsContext(context.Background(), sql, algos...)
+	return s.CompareAlgorithmsContext(context.Background(), sql, algos...) //ctxflow:allow context-less compatibility wrapper
 }
 
 // CompareAlgorithmsContext is CompareAlgorithms with governance; each
@@ -482,8 +482,8 @@ func (s *System) CompareAlgorithmsContext(ctx context.Context, sql string, algos
 			return nil, fmt.Errorf("els: %s: %w", a, err)
 		}
 		if len(out) > 0 && r.Count != out[0].Count {
-			return nil, fmt.Errorf("els: plans disagree: %s counted %d, %s counted %d",
-				algos[0], out[0].Count, a, r.Count)
+			return nil, fmt.Errorf("%w: plans disagree: %s counted %d, %s counted %d",
+				ErrInternal, algos[0], out[0].Count, a, r.Count)
 		}
 		out = append(out, r)
 	}
@@ -492,12 +492,12 @@ func (s *System) CompareAlgorithmsContext(ctx context.Context, sql string, algos
 
 // aggregateResult applies the query's GROUP BY and aggregate select list
 // to the executed join result and renders the grouped rows.
-func (s *System) aggregateResult(q *sqlparse.Query, res *executor.Result, out *Result) (*Result, error) {
+func (s *System) aggregateResult(q *sqlparse.Query, exec *executor.Executor, res *executor.Result, out *Result) (*Result, error) {
 	schema := res.Table.Schema()
 	colIdx := func(ref string) (int, error) {
 		idx := schema.ColumnIndex(ref)
 		if idx < 0 {
-			return 0, fmt.Errorf("els: column %s missing from result", ref)
+			return 0, fmt.Errorf("%w: column %s missing from result", ErrInternal, ref)
 		}
 		return idx, nil
 	}
@@ -524,7 +524,7 @@ func (s *System) aggregateResult(q *sqlparse.Query, res *executor.Result, out *R
 				}
 			}
 			if pos < 0 {
-				return nil, fmt.Errorf("els: column %s must appear in GROUP BY", item.Col)
+				return nil, fmt.Errorf("%w: column %s must appear in GROUP BY", ErrParse, item.Col)
 			}
 			layout[i] = pos
 			continue
@@ -546,7 +546,7 @@ func (s *System) aggregateResult(q *sqlparse.Query, res *executor.Result, out *R
 		case sqlparse.AggAvg:
 			spec.Op = executor.AggAvg
 		default:
-			return nil, fmt.Errorf("els: unsupported aggregate %v", item.Agg)
+			return nil, fmt.Errorf("%w: unsupported aggregate %v", ErrParse, item.Agg)
 		}
 		if !item.Star {
 			idx, err := colIdx(item.Col.Table + "." + item.Col.Column)
@@ -558,7 +558,7 @@ func (s *System) aggregateResult(q *sqlparse.Query, res *executor.Result, out *R
 		layout[i] = len(q.GroupBy) + len(aggs)
 		aggs = append(aggs, spec)
 	}
-	grouped, err := executor.Aggregate(res.Table, groupCols, aggs)
+	grouped, err := exec.Aggregate(res.Table, groupCols, aggs)
 	if err != nil {
 		return nil, err
 	}
