@@ -18,6 +18,12 @@
 // admission controller (the layer serving systems use to shed load), so a
 // bench run competing with other work on the box fails fast with a typed
 // overload error instead of queueing forever.
+//
+// -data-dir additionally benchmarks the durable catalog layer: the Section
+// 8 statistics catalog (at the run's -scale) is declared through the WAL,
+// compacted into an atomic checkpoint on exit, and then recovered with a
+// fresh els.Open whose wall-clock time lands in the -json report as
+// recovery_ms.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"runtime"
 	"time"
 
+	els "repro"
 	"repro/internal/admission"
 	"repro/internal/experiment"
 	"repro/internal/governor"
@@ -46,6 +53,7 @@ func main() {
 		timeout       = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "admission control: max concurrently admitted runs (0 = unlimited)")
 		queueTimeout  = flag.Duration("queue-timeout", 0, "admission control: max time the run waits for a slot (0 = forever)")
+		dataDir       = flag.String("data-dir", "", "durable catalog directory: persist the Section 8 statistics catalog, checkpoint on exit, and measure recovery_ms")
 	)
 	flag.Parse()
 	report := &experiment.BenchReport{Scale: *scale, Seed: *seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
@@ -57,6 +65,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "elsbench:", err)
 		os.Exit(1)
+	}
+	if *dataDir != "" {
+		if err := measureRecovery(*dataDir, *scale, report); err != nil {
+			fmt.Fprintln(os.Stderr, "elsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "durable recovery of %s: %.3f ms\n", *dataDir, report.RecoveryMillis)
 	}
 	if *jsonPath != "" {
 		if err := experiment.WriteBenchJSON(*jsonPath, report); err != nil {
@@ -230,6 +245,48 @@ func run(w io.Writer, which string, scale int, seed int64, estimatesOnly bool, w
 		return fmt.Errorf("unknown experiment %q", which)
 	}
 	return nil
+}
+
+// measureRecovery exercises the durable catalog end to end: declare the
+// Section 8 statistics catalog (at the run's scale) through the WAL,
+// compact it into an atomic checkpoint, close, and time a cold els.Open —
+// checkpoint load plus WAL replay — as the report's recovery_ms.
+func measureRecovery(dir string, scale int, report *experiment.BenchReport) error {
+	if scale < 1 {
+		scale = 1
+	}
+	sys, err := els.Open(dir)
+	if err != nil {
+		return err
+	}
+	section8 := []struct {
+		name string
+		card float64
+		col  string
+	}{
+		{"S", 1000, "s"}, {"M", 10000, "m"}, {"B", 50000, "b"}, {"G", 100000, "g"},
+	}
+	for _, t := range section8 {
+		card := t.card / float64(scale)
+		if err := sys.DeclareStats(t.name, card, map[string]float64{t.col: card}); err != nil {
+			return err
+		}
+	}
+	if err := sys.Checkpoint(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sys.Close(ctx); err != nil {
+		return err
+	}
+	start := time.Now()
+	recovered, err := els.Open(dir)
+	if err != nil {
+		return err
+	}
+	report.RecoveryMillis = float64(time.Since(start).Microseconds()) / 1000
+	return recovered.Close(ctx)
 }
 
 // resolveWorkers mirrors the executor's default: 0 means GOMAXPROCS.

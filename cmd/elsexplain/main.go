@@ -11,14 +11,21 @@
 //	  -sql "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100"
 //
 // With no -table flags, the Section 8 catalog above is preloaded.
+//
+// -data-dir explains against a durable catalog directory (written by
+// elsrepl, elsgen, or elsbench with the same flag): recovered statistics
+// replace the built-in defaults, any -table declarations are persisted
+// through the WAL, and the store is checkpointed on exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	els "repro"
 )
@@ -41,9 +48,10 @@ func main() {
 	workers := flag.Int("workers", 0, "plan-search parallelism (0 = GOMAXPROCS, 1 = serial)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission control: max concurrently executing explains (0 = unlimited)")
 	queueTimeout := flag.Duration("queue-timeout", 0, "admission control: max time an explain waits for a slot (0 = forever)")
+	dataDir := flag.String("data-dir", "", "durable catalog directory: recover statistics from it, persist -table declarations, checkpoint on exit")
 	flag.Parse()
 
-	if err := run(tables, *sql, *algo, els.Limits{
+	if err := run(tables, *sql, *algo, *dataDir, els.Limits{
 		Timeout: *timeout, MaxPlans: *maxPlans, Workers: *workers,
 		MaxConcurrent: *maxConcurrent, QueueTimeout: *queueTimeout,
 	}); err != nil {
@@ -52,13 +60,32 @@ func main() {
 	}
 }
 
-func run(tables []string, sql, algoName string, limits els.Limits) error {
+func run(tables []string, sql, algoName, dataDir string, limits els.Limits) error {
 	if sql == "" {
 		return fmt.Errorf("-sql is required")
 	}
 	sys := els.New()
+	if dataDir != "" {
+		var err error
+		if sys, err = els.Open(dataDir); err != nil {
+			return err
+		}
+		defer func() {
+			if err := sys.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "elsexplain: checkpoint on exit:", err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := sys.Close(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "elsexplain: close:", err)
+			}
+		}()
+	}
 	sys.SetLimits(limits)
-	if len(tables) == 0 {
+	// The built-in Section 8 defaults only apply when there is nothing
+	// else: explicit -table flags win, and so does a recovered durable
+	// catalog that already holds tables.
+	if len(tables) == 0 && len(sys.Tables()) == 0 {
 		tables = []string{
 			"S:1000:s=1000", "M:10000:m=10000", "B:50000:b=50000", "G:100000:g=100000",
 		}

@@ -39,33 +39,54 @@ func TestParseTableSpecErrors(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run(nil, "", "", els.Limits{}); err == nil {
+	if err := run(nil, "", "", "", els.Limits{}); err == nil {
 		t.Error("missing -sql should error")
 	}
-	if err := run([]string{"bad"}, "SELECT COUNT(*) FROM S", "", els.Limits{}); err == nil {
+	if err := run([]string{"bad"}, "SELECT COUNT(*) FROM S", "", "", els.Limits{}); err == nil {
 		t.Error("bad table spec should error")
 	}
-	if err := run(nil, "SELECT COUNT(*) FROM S", "nope", els.Limits{}); err == nil {
+	if err := run(nil, "SELECT COUNT(*) FROM S", "nope", "", els.Limits{}); err == nil {
 		t.Error("unknown algorithm should error")
 	}
-	if err := run(nil, "not sql", "ELS", els.Limits{}); err == nil {
+	if err := run(nil, "not sql", "ELS", "", els.Limits{}); err == nil {
 		t.Error("bad SQL should error")
 	}
 	// The default Section 8 catalog works end to end.
-	if err := run(nil, "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100", "ELS", els.Limits{}); err != nil {
+	if err := run(nil, "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g AND s < 100", "ELS", "", els.Limits{}); err != nil {
 		t.Errorf("default run failed: %v", err)
 	}
 	// Duplicate declaration via AddTable replacement is fine.
-	if err := run([]string{"A:10:x=5", "B:20:y=10"}, "SELECT COUNT(*) FROM A, B WHERE A.x = B.y", "", els.Limits{}); err != nil {
+	if err := run([]string{"A:10:x=5", "B:20:y=10"}, "SELECT COUNT(*) FROM A, B WHERE A.x = B.y", "", "", els.Limits{}); err != nil {
 		t.Errorf("custom catalog run failed: %v", err)
 	}
 }
 
 // -max-plans governs plan enumeration and surfaces the typed budget error.
 func TestRunPlanBudget(t *testing.T) {
-	err := run(nil, "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g", "ELS",
+	err := run(nil, "SELECT COUNT(*) FROM S, M, B, G WHERE s = m AND m = b AND b = g", "ELS", "",
 		els.Limits{MaxPlans: 1})
 	if !errors.Is(err, els.ErrBudgetExceeded) {
 		t.Errorf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+// -data-dir persists -table declarations and prefers a recovered catalog
+// over the built-in Section 8 defaults on later runs.
+func TestDataDirCatalog(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"A:10:x=5", "B:20:y=10"},
+		"SELECT COUNT(*) FROM A, B WHERE A.x = B.y", "ELS", dir, els.Limits{}); err != nil {
+		t.Fatalf("first durable run: %v", err)
+	}
+	// No -table flags: the recovered A and B must be used (the Section 8
+	// defaults would make this query fail with unknown tables).
+	if err := run(nil,
+		"SELECT COUNT(*) FROM A, B WHERE A.x = B.y", "ELS", dir, els.Limits{}); err != nil {
+		t.Errorf("recovered-catalog run: %v", err)
+	}
+	// Without the data dir the same query has no tables to resolve.
+	if err := run(nil,
+		"SELECT COUNT(*) FROM A, B WHERE A.x = B.y", "ELS", "", els.Limits{}); err == nil {
+		t.Error("run without data dir should not know tables A and B")
 	}
 }

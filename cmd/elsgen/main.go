@@ -9,6 +9,12 @@
 // Each column spec is name:distribution:domain[:theta] with distribution
 // one of uniform, zipf, permutation, sequential (permutation ignores the
 // domain and uses the row count).
+//
+// -data-dir records the generated table's exact statistics (cardinality
+// and per-column distinct counts, computed from the data) in a durable
+// catalog directory via the WAL, checkpointed on exit, so downstream tools
+// (elsrepl -data-dir, elsexplain -data-dir) can estimate over the dataset
+// without re-scanning the CSV.
 package main
 
 import (
@@ -24,9 +30,11 @@ import (
 	"strings"
 	"time"
 
+	els "repro"
 	"repro/internal/admission"
 	"repro/internal/datagen"
 	"repro/internal/governor"
+	"repro/internal/storage"
 	"repro/internal/workpool"
 )
 
@@ -39,11 +47,13 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for generation (0 = none)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission control: max concurrently admitted generations (0 = unlimited)")
 	queueTimeout := flag.Duration("queue-timeout", 0, "admission control: max time the run waits for a slot (0 = forever)")
+	name := flag.String("name", "gen", "table name for the durable catalog entry (-data-dir)")
+	dataDir := flag.String("data-dir", "", "durable catalog directory: record the generated table's exact statistics, checkpointed on exit")
 	flag.Parse()
 
 	err := admitted(*maxConcurrent, *queueTimeout, func() error {
 		return withTimeout(*timeout, func() error {
-			return run(*rows, *cols, *seed, *header, *workers, os.Stdout)
+			return run(*rows, *cols, *seed, *header, *workers, *name, *dataDir, os.Stdout)
 		})
 	})
 	if err != nil {
@@ -90,8 +100,8 @@ func withTimeout(d time.Duration, f func() error) error {
 	}
 }
 
-func run(rows int, cols string, seed int64, header bool, workers int, w io.Writer) error {
-	spec := datagen.TableSpec{Name: "gen", Rows: rows}
+func run(rows int, cols string, seed int64, header bool, workers int, name, dataDir string, w io.Writer) error {
+	spec := datagen.TableSpec{Name: name, Rows: rows}
 	var names []string
 	for _, c := range strings.Split(cols, ",") {
 		cs, err := parseColumnSpec(strings.TrimSpace(c))
@@ -139,7 +149,42 @@ func run(rows int, cols string, seed int64, header bool, workers int, w io.Write
 			return err
 		}
 	}
+	if dataDir != "" {
+		if err := persistStats(dataDir, name, names, tbl); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "elsgen: recorded statistics for %q in %s\n", name, dataDir)
+	}
 	return nil
+}
+
+// persistStats records the generated table's exact statistics — row count
+// and per-column distinct counts computed from the data — in the durable
+// catalog at dir. The declaration goes through the WAL (acknowledged only
+// after fsync) and is compacted into a checkpoint before the tool exits.
+func persistStats(dir, name string, colNames []string, tbl *storage.Table) error {
+	distinct := make(map[string]float64, len(colNames))
+	seen := make(map[int64]struct{})
+	for c, cn := range colNames {
+		clear(seen)
+		for r := 0; r < tbl.NumRows(); r++ {
+			seen[tbl.Value(r, c).Int()] = struct{}{}
+		}
+		distinct[cn] = float64(len(seen))
+	}
+	sys, err := els.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := sys.DeclareStats(name, float64(tbl.NumRows()), distinct); err != nil {
+		return err
+	}
+	if err := sys.Checkpoint(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return sys.Close(ctx)
 }
 
 // chunkRows splits [0, n) into up to workers*4 contiguous [start, end)

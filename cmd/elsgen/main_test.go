@@ -2,9 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
+	"time"
 
+	els "repro"
 	"repro/internal/datagen"
 )
 
@@ -50,7 +53,7 @@ func TestParseColumnSpecErrors(t *testing.T) {
 
 func TestRunGeneratesCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(5, "k:uniform:10,z:zipf:5:1.0", 42, true, 1, &buf); err != nil {
+	if err := run(5, "k:uniform:10,z:zipf:5:1.0", 42, true, 1, "gen", "", &buf); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -67,7 +70,7 @@ func TestRunGeneratesCSV(t *testing.T) {
 	}
 	// Deterministic for a seed.
 	var buf2 bytes.Buffer
-	if err := run(5, "k:uniform:10,z:zipf:5:1.0", 42, true, 1, &buf2); err != nil {
+	if err := run(5, "k:uniform:10,z:zipf:5:1.0", 42, true, 1, "gen", "", &buf2); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != buf2.String() {
@@ -80,12 +83,12 @@ func TestRunGeneratesCSV(t *testing.T) {
 func TestRunParallelFormattingIdentical(t *testing.T) {
 	const spec = "k:uniform:50,z:zipf:20:0.5"
 	var serial bytes.Buffer
-	if err := run(5000, spec, 7, true, 1, &serial); err != nil {
+	if err := run(5000, spec, 7, true, 1, "gen", "", &serial); err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 2, 4, 7} {
 		var par bytes.Buffer
-		if err := run(5000, spec, 7, true, workers, &par); err != nil {
+		if err := run(5000, spec, 7, true, workers, "gen", "", &par); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		if par.String() != serial.String() {
@@ -114,10 +117,42 @@ func TestChunkRows(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(5, "bad", 1, false, 1, &buf); err == nil {
+	if err := run(5, "bad", 1, false, 1, "gen", "", &buf); err == nil {
 		t.Error("bad column spec should error")
 	}
-	if err := run(-1, "k:uniform:10", 1, false, 1, &buf); err == nil {
+	if err := run(-1, "k:uniform:10", 1, false, 1, "gen", "", &buf); err == nil {
 		t.Error("negative rows should error")
+	}
+}
+
+// -data-dir records the generated table's exact statistics in a durable
+// catalog: cardinality is the row count and per-column distincts are
+// computed from the data, so a sequential column has distinct == rows.
+func TestDataDirRecordsExactStats(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(50, "k:uniform:10,s:sequential:50", 42, false, 1, "mytab", dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := els.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		sys.Close(ctx)
+	}()
+	card, err := sys.TableCard("mytab")
+	if err != nil || card != 50 {
+		t.Fatalf("card = %g, %v; want 50", card, err)
+	}
+	d, err := sys.ColumnDistinct("mytab", "s")
+	if err != nil || d != 50 {
+		t.Errorf("sequential distinct = %g, %v; want 50", d, err)
+	}
+	d, err = sys.ColumnDistinct("mytab", "k")
+	if err != nil || d < 1 || d > 10 {
+		t.Errorf("uniform distinct = %g, %v; want 1..10", d, err)
 	}
 }

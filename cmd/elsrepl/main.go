@@ -13,16 +13,25 @@
 // the intra-query parallelism; results are identical at any setting.
 // -max-concurrent and -queue-timeout configure admission control for
 // sessions that share the system with other work.
+//
+// -data-dir backs the session with a durable catalog directory: statistics
+// declared in the shell are written ahead to a checksummed WAL and fsynced
+// before being acknowledged, a previous session's catalog is recovered on
+// startup, and the WAL is compacted into an atomic checkpoint on clean
+// exit. Inside the shell, "checkpoint" compacts eagerly and "recover"
+// replays the directory as a post-crash restart would.
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	els "repro"
 	"repro/internal/repl"
@@ -36,6 +45,7 @@ func main() {
 	workers := flag.Int("workers", 0, "intra-query parallelism (0 = GOMAXPROCS, 1 = serial)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission control: max concurrently executing queries (0 = unlimited)")
 	queueTimeout := flag.Duration("queue-timeout", 0, "admission control: max time a query waits for a slot (0 = forever)")
+	dataDir := flag.String("data-dir", "", "durable catalog directory (WAL + checkpoints); recovered on start, checkpointed on exit")
 	flag.Parse()
 	limits := els.Limits{
 		Timeout:       *timeout,
@@ -46,7 +56,7 @@ func main() {
 		MaxConcurrent: *maxConcurrent,
 		QueueTimeout:  *queueTimeout,
 	}
-	if err := run(os.Stdin, os.Stdout, limits, isTerminal()); err != nil {
+	if err := run(os.Stdin, os.Stdout, limits, *dataDir, isTerminal()); err != nil {
 		fmt.Fprintln(os.Stderr, "elsrepl:", err)
 		os.Exit(1)
 	}
@@ -57,9 +67,23 @@ func main() {
 // error; per-command failures are reported to out and the session
 // continues. A final line not terminated by a newline (mid-line EOF — a
 // script missing its trailing newline, or ^D typed after a command) is
-// executed before the session ends cleanly.
-func run(in io.Reader, out io.Writer, limits els.Limits, interactive bool) error {
+// executed before the session ends cleanly. A durable session (dataDir
+// non-empty) checkpoints the WAL and closes the store on the way out.
+func run(in io.Reader, out io.Writer, limits els.Limits, dataDir string, interactive bool) error {
 	p := repl.New(out)
+	if dataDir != "" {
+		var err error
+		if p, err = repl.NewAt(out, dataDir); err != nil {
+			return err
+		}
+		// Re-read the system at exit: a "recover" command swaps in a
+		// fresh one and closes the old one itself.
+		defer func() { closeDurable(p.System()) }()
+		if interactive {
+			d := p.System().DurabilityStats()
+			fmt.Fprintf(out, "recovered %s at catalog version %d\n", dataDir, d.LastVersion)
+		}
+	}
 	p.System().SetLimits(limits)
 	r := bufio.NewReader(in)
 	if interactive {
@@ -85,6 +109,21 @@ func run(in io.Reader, out io.Writer, limits els.Limits, interactive bool) error
 			}
 			return err
 		}
+	}
+}
+
+// closeDurable checkpoints and closes the session's durable store on exit,
+// so the next start recovers from a compact checkpoint instead of a long
+// WAL replay. Errors are reported, not fatal: the WAL already holds every
+// acknowledged mutation.
+func closeDurable(sys *els.System) {
+	if err := sys.Checkpoint(); err != nil {
+		fmt.Fprintln(os.Stderr, "elsrepl: checkpoint on exit:", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sys.Close(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "elsrepl: close:", err)
 	}
 }
 

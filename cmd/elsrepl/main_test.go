@@ -20,7 +20,7 @@ func TestScriptedRoundTrip(t *testing.T) {
 		"quit",
 	}, "\n")
 	var out strings.Builder
-	if err := run(strings.NewReader(script), &out, els.Limits{}, false); err != nil {
+	if err := run(strings.NewReader(script), &out, els.Limits{}, "", false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -46,7 +46,7 @@ func TestErrorsDoNotAbortSession(t *testing.T) {
 		"tables",
 	}, "\n")
 	var out strings.Builder
-	if err := run(strings.NewReader(script), &out, els.Limits{}, false); err != nil {
+	if err := run(strings.NewReader(script), &out, els.Limits{}, "", false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -67,7 +67,7 @@ func TestErrorsDoNotAbortSession(t *testing.T) {
 func TestMidLineEOFExecutesFinalCommand(t *testing.T) {
 	script := "declare R 1000 x=100\ntables" // no trailing newline
 	var out strings.Builder
-	if err := run(strings.NewReader(script), &out, els.Limits{}, false); err != nil {
+	if err := run(strings.NewReader(script), &out, els.Limits{}, "", false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "R  card=1000") {
@@ -89,7 +89,7 @@ func TestMalformedLimitsArgs(t *testing.T) {
 		"limits",                  // prior setting must survive the noise
 	}, "\n")
 	var out strings.Builder
-	if err := run(strings.NewReader(script), &out, els.Limits{}, false); err != nil {
+	if err := run(strings.NewReader(script), &out, els.Limits{}, "", false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -123,7 +123,7 @@ func TestAdmissionLimitsInSession(t *testing.T) {
 		"serving",
 	}, "\n")
 	var out strings.Builder
-	if err := run(strings.NewReader(script), &out, els.Limits{}, false); err != nil {
+	if err := run(strings.NewReader(script), &out, els.Limits{}, "", false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -150,7 +150,7 @@ func TestLimitsGovernSession(t *testing.T) {
 		"SELECT COUNT(*) FROM R, S WHERE R.x = S.x", // now succeeds
 	}, "\n")
 	var out strings.Builder
-	if err := run(strings.NewReader(script), &out, els.Limits{MaxTuples: 1}, false); err != nil {
+	if err := run(strings.NewReader(script), &out, els.Limits{MaxTuples: 1}, "", false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -162,5 +162,29 @@ func TestLimitsGovernSession(t *testing.T) {
 	}
 	if !strings.Contains(got, "2000 row(s)") {
 		t.Errorf("query after 'limits off' did not succeed:\n%s", got)
+	}
+}
+
+// A -data-dir session persists declarations across runs: the second run
+// recovers the catalog written (and checkpointed on exit) by the first.
+func TestDurableSessionPersists(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	script := "declare R 1000 x=100\ndeclare S 500 y=50\nquit\n"
+	if err := run(strings.NewReader(script), &out, els.Limits{}, dir, false); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := run(strings.NewReader("tables\nserving\n"), &out, els.Limits{}, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "R  card=1000") || !strings.Contains(got, "S  card=500") {
+		t.Errorf("catalog did not survive restart:\n%s", got)
+	}
+	// Exit checkpointed: the recovered WAL holds no un-compacted records.
+	if !strings.Contains(got, "records-since-checkpoint=0") {
+		t.Errorf("exit checkpoint missing (WAL not compacted):\n%s", got)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/csvload"
 	"repro/internal/datagen"
+	"repro/internal/durable"
 	"repro/internal/selest"
 	"repro/internal/snapshot"
 	"repro/internal/storage"
@@ -146,6 +147,7 @@ type System struct {
 	store   *snapshot.Store       // versioned COW catalog
 	adm     *admission.Controller // concurrency gate + drain
 	breaker *admission.Breaker    // consecutive-internal-error circuit breaker
+	dur     *durable.Store        // WAL + checkpoints; nil for in-memory systems (New)
 
 	mu     sync.RWMutex
 	limits Limits // default per-query resource budgets (zero: ungoverned)

@@ -7,6 +7,7 @@ package analyzers
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analyzers/atomicwrite"
 	"repro/internal/analyzers/ctxflow"
 	"repro/internal/analyzers/errtaxonomy"
 	"repro/internal/analyzers/governorcharge"
@@ -22,5 +23,6 @@ func All() []*analysis.Analyzer {
 		ctxflow.Analyzer,
 		snapshotmut.Analyzer,
 		governorcharge.Analyzer,
+		atomicwrite.Analyzer,
 	}
 }

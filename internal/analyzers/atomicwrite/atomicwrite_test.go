@@ -1,0 +1,11 @@
+package atomicwrite
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	analysistest.Run(t, Analyzer, "internal/feature", "internal/durable")
+}

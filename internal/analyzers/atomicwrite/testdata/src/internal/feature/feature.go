@@ -1,0 +1,42 @@
+// Package feature exercises the crash-atomicity contract from outside the
+// durable layer.
+package feature
+
+import (
+	"os"
+
+	"repro/internal/durable"
+)
+
+func tornWrites(path string, data []byte) {
+	os.WriteFile(path, data, 0o644)                             // want `torn artifact`
+	os.Create(path)                                             // want `torn artifact`
+	os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)           // want `torn artifact`
+	os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644) // want `torn artifact`
+}
+
+// atomicWrite is the sanctioned path: the durable layer's temp + fsync +
+// rename primitive.
+func atomicWrite(path string, data []byte) error {
+	return durable.AtomicWriteFile(path, data, 0o644)
+}
+
+// readsAreFine: opening for read never tears anything.
+func readsAreFine(path string) {
+	os.Open(path)
+	os.ReadFile(path)
+	os.OpenFile(path, os.O_RDONLY, 0)
+}
+
+// annotated writes are accepted: the author has stated why this artifact
+// does not need crash atomicity.
+func annotated(path string, data []byte) {
+	os.WriteFile(path, data, 0o644) //atomicwrite:allow scratch output, rebuilt on every run
+	//atomicwrite:allow annotation on the line above also counts
+	os.Create(path)
+}
+
+// nonConstantFlags are left alone: provenance unprovable.
+func nonConstantFlags(path string, flags int) {
+	os.OpenFile(path, flags, 0o644)
+}

@@ -110,7 +110,7 @@ func key(name string) string { return strings.ToLower(name) }
 // existing entry of the same name.
 func (c *Catalog) AddTable(ts *TableStats) error {
 	if ts == nil || ts.Name == "" {
-		return fmt.Errorf("catalog: table stats must have a name")
+		return fmt.Errorf("%w: table stats must have a name", governor.ErrBadStats)
 	}
 	if ts.Card < 0 || math.IsNaN(ts.Card) {
 		return fmt.Errorf("%w: table %s: cardinality %g", governor.ErrBadStats, ts.Name, ts.Card)

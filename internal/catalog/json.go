@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,8 +21,12 @@ const StatsFormatVersion = 2
 // jsonCatalog is the serialized form of a catalog's statistics (data tables
 // and indexes are not serialized; statistics are what optimizers exchange).
 type jsonCatalog struct {
-	FormatVersion int         `json:"format_version,omitempty"`
-	Tables        []jsonTable `json:"tables"`
+	FormatVersion int `json:"format_version,omitempty"`
+	// CatalogVersion is the published snapshot version the statistics were
+	// captured at. Only durable checkpoints (internal/durable) write it;
+	// plain stats exports omit it and import as version 0.
+	CatalogVersion uint64      `json:"catalog_version,omitempty"`
+	Tables         []jsonTable `json:"tables"`
 }
 
 type jsonTable struct {
@@ -86,42 +91,111 @@ func tableChecksum(jt jsonTable) string {
 	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(b))
 }
 
-// ExportJSON writes the catalog's statistics as JSON — the portable
-// artifact for sharing optimizer statistics between runs or tools. The
-// file carries a format_version header and a per-table checksum so
-// ImportJSON can reject truncated or corrupted files.
-func (c *Catalog) ExportJSON(w io.Writer) error {
-	out := jsonCatalog{FormatVersion: StatsFormatVersion}
-	for _, name := range c.TableNames() {
+// encodeTable builds the canonical jsonTable section for one table's
+// statistics, checksum filled in.
+func encodeTable(ts *TableStats) jsonTable {
+	jt := jsonTable{Name: ts.Name, Card: ts.Card, RowWidth: ts.RowWidth}
+	// Deterministic column order.
+	var keys []string
+	for k := range ts.Columns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cs := ts.Columns[k]
+		jc := jsonColumn{
+			Name: cs.Name, Type: typeNames[cs.Type], Distinct: cs.Distinct,
+			NullCount: cs.NullCount, HasRange: cs.HasRange, Min: cs.Min, Max: cs.Max,
+		}
+		if cs.Hist != nil {
+			jh := &jsonHistogram{Kind: cs.Hist.Kind.String(), Total: cs.Hist.Total}
+			for _, b := range cs.Hist.Buckets {
+				jh.Buckets = append(jh.Buckets, jsonBucket(b))
+			}
+			jc.Histogram = jh
+		}
+		jt.Columns = append(jt.Columns, jc)
+	}
+	jt.Checksum = tableChecksum(jt)
+	return jt
+}
+
+// exportJSON writes the v2 stats document for the named tables (all tables
+// when names is nil), stamping catalogVersion when non-zero.
+func (c *Catalog) exportJSON(w io.Writer, names []string, catalogVersion uint64) error {
+	out := jsonCatalog{FormatVersion: StatsFormatVersion, CatalogVersion: catalogVersion}
+	if names == nil {
+		names = c.TableNames()
+	}
+	for _, name := range names {
 		ts := c.Table(name)
-		jt := jsonTable{Name: ts.Name, Card: ts.Card, RowWidth: ts.RowWidth}
-		// Deterministic column order.
-		var keys []string
-		for k := range ts.Columns {
-			keys = append(keys, k)
+		if ts == nil {
+			return fmt.Errorf("%w: exporting unknown table %q", governor.ErrBadStats, name)
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			cs := ts.Columns[k]
-			jc := jsonColumn{
-				Name: cs.Name, Type: typeNames[cs.Type], Distinct: cs.Distinct,
-				NullCount: cs.NullCount, HasRange: cs.HasRange, Min: cs.Min, Max: cs.Max,
-			}
-			if cs.Hist != nil {
-				jh := &jsonHistogram{Kind: cs.Hist.Kind.String(), Total: cs.Hist.Total}
-				for _, b := range cs.Hist.Buckets {
-					jh.Buckets = append(jh.Buckets, jsonBucket(b))
-				}
-				jc.Histogram = jh
-			}
-			jt.Columns = append(jt.Columns, jc)
-		}
-		jt.Checksum = tableChecksum(jt)
-		out.Tables = append(out.Tables, jt)
+		out.Tables = append(out.Tables, encodeTable(ts))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// ExportJSON writes the catalog's statistics as JSON — the portable
+// artifact for sharing optimizer statistics between runs or tools. The
+// file carries a format_version header and a per-table checksum so
+// ImportJSON can reject truncated or corrupted files.
+func (c *Catalog) ExportJSON(w io.Writer) error { return c.exportJSON(w, nil, 0) }
+
+// ExportSubsetJSON is ExportJSON restricted to the named tables, in the
+// given order. The durable write-ahead log uses it to record just the
+// tables a mutation changed.
+func (c *Catalog) ExportSubsetJSON(w io.Writer, names []string) error {
+	return c.exportJSON(w, names, 0)
+}
+
+// ExportVersionedJSON is ExportJSON with the published catalog version
+// stamped into the header — the checkpoint form written by
+// internal/durable.
+func (c *Catalog) ExportVersionedJSON(w io.Writer, version uint64) error {
+	return c.exportJSON(w, nil, version)
+}
+
+// SectionChecksum returns the canonical per-section checksum of the named
+// table's statistics, or "" when the table is unknown. Two tables with
+// equal checksums carry identical optimizer-visible statistics.
+func (c *Catalog) SectionChecksum(name string) string {
+	ts := c.Table(name)
+	if ts == nil {
+		return ""
+	}
+	return encodeTable(ts).Checksum
+}
+
+// sectionBytes is the canonical compact encoding of a table's section,
+// the byte string DiffTables compares (checksums alone would make a CRC
+// collision silently drop a changed table from the WAL delta).
+func sectionBytes(ts *TableStats) []byte {
+	b, err := json.Marshal(encodeTable(ts))
+	if err != nil {
+		// Marshaling a plain struct of floats/strings cannot fail.
+		panic(fmt.Sprintf("catalog: marshal table section: %v", err))
+	}
+	return b
+}
+
+// DiffTables returns the names of tables (in next's registration order)
+// whose statistics differ from prev's — added tables and tables whose
+// canonical section encoding changed. The durable layer logs exactly this
+// delta per catalog mutation. Tables are never deleted, so a prev-only
+// table cannot occur.
+func DiffTables(prev, next *Catalog) []string {
+	var changed []string
+	for _, name := range next.TableNames() {
+		pts, nts := prev.Table(name), next.Table(name)
+		if pts == nil || !bytes.Equal(sectionBytes(pts), sectionBytes(nts)) {
+			changed = append(changed, name)
+		}
+	}
+	return changed
 }
 
 // decodeError maps a JSON decoding failure onto ErrBadStats with a
@@ -162,26 +236,34 @@ func decodeError(data []byte, err error) error {
 // a line diagnostic. Legacy files without a header import without
 // checksum verification.
 func (c *Catalog) ImportJSON(r io.Reader) error {
+	_, err := c.ImportVersionedJSON(r)
+	return err
+}
+
+// ImportVersionedJSON is ImportJSON that additionally returns the
+// catalog_version header the file carries (0 for plain stats exports;
+// non-zero for durable checkpoints).
+func (c *Catalog) ImportVersionedJSON(r io.Reader) (uint64, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return fmt.Errorf("%w: reading stats file: %w", governor.ErrBadStats, err)
+		return 0, fmt.Errorf("%w: reading stats file: %w", governor.ErrBadStats, err)
 	}
 	var in jsonCatalog
 	if err := json.Unmarshal(data, &in); err != nil {
-		return decodeError(data, err)
+		return 0, decodeError(data, err)
 	}
 	if in.FormatVersion > StatsFormatVersion {
-		return fmt.Errorf("%w: stats file format version %d is newer than the supported version %d",
+		return 0, fmt.Errorf("%w: stats file format version %d is newer than the supported version %d",
 			governor.ErrBadStats, in.FormatVersion, StatsFormatVersion)
 	}
 	if in.FormatVersion >= 2 {
 		for i, jt := range in.Tables {
 			if jt.Checksum == "" {
-				return fmt.Errorf("%w: stats file: table %q (section %d): missing checksum",
+				return 0, fmt.Errorf("%w: stats file: table %q (section %d): missing checksum",
 					governor.ErrBadStats, jt.Name, i)
 			}
 			if got := tableChecksum(jt); got != jt.Checksum {
-				return fmt.Errorf("%w: stats file: table %q (section %d): checksum mismatch (file says %s, content hashes to %s) — the section was corrupted or edited",
+				return 0, fmt.Errorf("%w: stats file: table %q (section %d): checksum mismatch (file says %s, content hashes to %s) — the section was corrupted or edited",
 					governor.ErrBadStats, jt.Name, i, jt.Checksum, got)
 			}
 		}
@@ -194,7 +276,7 @@ func (c *Catalog) ImportJSON(r io.Reader) error {
 		for _, jc := range jt.Columns {
 			typ, ok := typeByName[jc.Type]
 			if !ok {
-				return fmt.Errorf("%w: stats file: table %s column %s: unknown type %q",
+				return 0, fmt.Errorf("%w: stats file: table %s column %s: unknown type %q",
 					governor.ErrBadStats, jt.Name, jc.Name, jc.Type)
 			}
 			cs := &ColumnStats{
@@ -215,8 +297,11 @@ func (c *Catalog) ImportJSON(r io.Reader) error {
 			ts.Columns[key(jc.Name)] = cs
 		}
 		if err := c.AddTable(ts); err != nil {
-			return err
+			if !errors.Is(err, governor.ErrBadStats) {
+				err = fmt.Errorf("%w: stats file: table %q: %w", governor.ErrBadStats, jt.Name, err)
+			}
+			return 0, err
 		}
 	}
-	return nil
+	return in.CatalogVersion, nil
 }

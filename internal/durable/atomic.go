@@ -1,0 +1,63 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/governor"
+)
+
+// AtomicWriteFile writes data to path crash-atomically: the bytes go to a
+// sibling temp file first, are fsynced, and only then renamed over path,
+// with the parent directory fsynced to persist the rename. A reader (or a
+// crash at any instant) therefore sees either the old file or the complete
+// new one — never a prefix. A failure cleans up the temp file, so no stray
+// *.tmp artifacts accumulate next to catalog files.
+//
+// This is the only sanctioned way to write catalog artifacts to disk; the
+// elslint atomicwrite analyzer flags direct os.WriteFile/os.Create calls
+// outside this package.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm) //atomicwrite:allow the atomic-write primitive itself
+	if err != nil {
+		return fmt.Errorf("%w: creating %s: %w", governor.ErrDurability, tmp, err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return fmt.Errorf("%w: writing %s: %w", governor.ErrDurability, tmp, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("%w: syncing %s: %w", governor.ErrDurability, tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("%w: closing %s: %w", governor.ErrDurability, tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("%w: publishing %s: %w", governor.ErrDurability, path, err)
+	}
+	if err = syncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-performed rename or truncate of one
+// of its entries survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("%w: opening dir %s: %w", governor.ErrDurability, dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("%w: syncing dir %s: %w", governor.ErrDurability, dir, err)
+	}
+	return nil
+}

@@ -3,7 +3,8 @@ package experiment
 import (
 	"encoding/json"
 	"fmt"
-	"os"
+
+	"repro/internal/durable"
 )
 
 // BenchResult is one experiment's machine-readable measurement. cmd/elsbench
@@ -32,6 +33,10 @@ type BenchReport struct {
 	// possible).
 	GoMaxProcs int           `json:"gomaxprocs"`
 	Results    []BenchResult `json:"results"`
+	// RecoveryMillis is the wall-clock time of the durable crash-recovery
+	// measurement (els.Open replaying checkpoint + WAL), when the run
+	// included one; 0 otherwise.
+	RecoveryMillis float64 `json:"recovery_ms"`
 }
 
 // SumTuplesScanned totals the executor work across a Section 8 table's rows.
@@ -43,13 +48,14 @@ func SumTuplesScanned(res *Section8Result) int64 {
 	return total
 }
 
-// WriteBenchJSON writes the report as indented JSON to path.
+// WriteBenchJSON writes the report as indented JSON to path,
+// crash-atomically: CI never archives a torn result file.
 func WriteBenchJSON(path string, rep *BenchReport) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return fmt.Errorf("experiment: marshal bench report: %w", err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := durable.AtomicWriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("experiment: write bench report: %w", err)
 	}
 	return nil

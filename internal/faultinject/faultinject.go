@@ -15,10 +15,31 @@ package faultinject
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrCrash marks a simulated process kill injected at a disk probe point.
+// A probe site that observes it must behave as if the process died at that
+// instant: stop writing, leave whatever bytes already reached the file in
+// place, and refuse further work until the store is reopened through its
+// recovery path. Crash-recovery tests arm disk faults carrying this error
+// (or a DiskFault payload) and then drive recovery against the resulting
+// half-written state.
+var ErrCrash = errors.New("faultinject: simulated crash")
+
+// DiskFault is the Payload type disk-layer probe points interpret: it
+// shapes how much of a write-path operation completes before the simulated
+// crash. Arm it with Fault{Payload: DiskFault{...}}.
+type DiskFault struct {
+	// ShortWrite, when >= 0, is the number of leading bytes of the faulted
+	// write that reach the file before the simulated kill — a torn record.
+	// Negative means the full write completes (the crash lands after the
+	// write but before whatever durability step follows it).
+	ShortWrite int
+}
 
 // Fault describes what an armed probe does when hit.
 type Fault struct {

@@ -52,6 +52,13 @@ var (
 	// ErrClosed reports that the system is draining or closed
 	// (System.Close); new queries fail fast with this error.
 	ErrClosed = errors.New("els: system closed")
+	// ErrDurability reports that the durable catalog store (write-ahead
+	// log or checkpoint; see els.Open) failed to make a mutation durable.
+	// The mutation was not acknowledged and no new catalog version was
+	// published; the durable store refuses further mutations until the
+	// system is reopened, because the on-disk suffix state is unknown.
+	// Queries keep serving from the last published in-memory version.
+	ErrDurability = errors.New("els: durability failure")
 )
 
 // BudgetError is the concrete error for an exhausted budget. It matches
@@ -156,6 +163,17 @@ type Limits struct {
 	// shed with ErrOverloaded; 0 means wait indefinitely (until the
 	// caller's context dies). Only meaningful with MaxConcurrent > 0.
 	QueueTimeout time.Duration
+	// CheckpointEvery compacts the durable store's write-ahead log into an
+	// atomic checkpoint after this many WAL records (systems opened with
+	// els.Open only; 0 disables auto-checkpointing and leaves compaction
+	// to explicit Checkpoint calls). Like the admission fields it governs
+	// the system, not a single query's budget.
+	CheckpointEvery int
+	// NoFsync skips the per-record fsync on the durable store's
+	// write-ahead log (systems opened with els.Open only), trading crash
+	// durability of the latest acknowledged mutations for bulk-load
+	// throughput. Checkpoints still fsync before publishing.
+	NoFsync bool
 }
 
 // Enforced reports whether any budget limit is set (Workers is a

@@ -5,6 +5,7 @@
 package repl
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -17,14 +18,27 @@ import (
 
 // Processor holds the session state of one REPL.
 type Processor struct {
-	sys  *els.System
-	algo els.Algorithm
-	out  io.Writer
+	sys     *els.System
+	algo    els.Algorithm
+	out     io.Writer
+	dataDir string // durable catalog directory; "" for in-memory sessions
 }
 
 // New creates a processor writing to out, starting with Algorithm ELS.
 func New(out io.Writer) *Processor {
 	return &Processor{sys: els.New(), algo: els.AlgorithmELS, out: out}
+}
+
+// NewAt creates a processor backed by a durable catalog directory
+// (els.Open): recovered statistics are available immediately, and every
+// declared mutation is written ahead and fsynced before it is
+// acknowledged. The "recover" command reopens the same directory.
+func NewAt(out io.Writer, dataDir string) (*Processor, error) {
+	sys, err := els.Open(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Processor{sys: sys, algo: els.AlgorithmELS, out: out, dataDir: dataDir}, nil
 }
 
 // System exposes the underlying system (used by tests and by callers that
@@ -58,6 +72,10 @@ func (p *Processor) Execute(line string) (quit bool, err error) {
 		return false, p.limits(fields[1:])
 	case "serving":
 		return false, p.serving()
+	case "checkpoint":
+		return false, p.checkpoint()
+	case "recover":
+		return false, p.recoverCatalog(fields[1:])
 	case "declare":
 		return false, p.declare(fields[1:])
 	case "load":
@@ -105,7 +123,11 @@ func (p *Processor) help() error {
                                             ("limits off" clears)
   serving                                   show serving-layer counters
                                             (catalog version, admission, retries,
-                                            circuit breaker)
+                                            circuit breaker, durability)
+  checkpoint                                compact the WAL into an atomic
+                                            checkpoint (durable sessions)
+  recover [dir]                             reopen the durable catalog, replaying
+                                            checkpoint + WAL (crash recovery)
   estimate <sql>                            estimate without executing
   explain <sql>                             show closure + plan + estimates
   analyze <sql>                             execute and show est-vs-actual per node
@@ -229,6 +251,66 @@ func (p *Processor) serving() error {
 	p.printf("retries=%d retry-successes=%d\n", st.Retries, st.RetrySuccesses)
 	p.printf("breaker=%s opens=%d rejections=%d probes=%d\n",
 		st.BreakerState, st.BreakerOpens, st.BreakerRejections, st.BreakerProbes)
+	if p.sys.Durable() {
+		d := p.sys.DurabilityStats()
+		frozen := ""
+		if d.Poisoned != nil {
+			frozen = " FROZEN (reopen to recover)"
+		}
+		p.printf("durable: wal=%dB checkpoint-version=%d records-since-checkpoint=%d%s\n",
+			d.WALSizeBytes, d.CheckpointVersion, d.RecordsSinceCheckpoint, frozen)
+	}
+	return nil
+}
+
+// checkpoint compacts the durable store's WAL into an atomic checkpoint of
+// the current catalog version.
+func (p *Processor) checkpoint() error {
+	if err := p.sys.Checkpoint(); err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	d := p.sys.DurabilityStats()
+	p.printf("checkpoint written: version %d (wal %dB)\n", d.CheckpointVersion, d.WALSizeBytes)
+	return nil
+}
+
+// recoverCatalog reopens a durable catalog directory — the session's own
+// by default, or an explicit one — replaying its checkpoint and WAL suffix
+// exactly as a post-crash restart would. The previous system is drained
+// and closed; in-memory artifacts (loaded CSV data, indexes) do not
+// survive, matching what a real crash loses.
+func (p *Processor) recoverCatalog(args []string) error {
+	dir := p.dataDir
+	if len(args) == 1 {
+		dir = args[0]
+	} else if len(args) > 1 {
+		p.printf("usage: recover [dir]\n")
+		return nil
+	}
+	if dir == "" {
+		p.printf("no data directory: start with -data-dir or use \"recover <dir>\"\n")
+		return nil
+	}
+	sys, err := els.Open(dir)
+	if err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	//ctxflow:allow repl session owns both systems end-to-end; bounded drain of the one being replaced
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if cerr := p.sys.Close(ctx); cerr != nil {
+		p.printf("note: closing previous system: %v\n", cerr)
+	}
+	p.sys, p.dataDir = sys, dir
+	d := sys.DurabilityStats()
+	torn := ""
+	if d.TornTailRecovered {
+		torn = ", torn wal tail truncated"
+	}
+	p.printf("recovered %s: catalog version %d (checkpoint %d + %d wal records%s)\n",
+		dir, d.LastVersion, d.CheckpointVersion, d.RecordsSinceCheckpoint, torn)
 	return nil
 }
 

@@ -240,3 +240,83 @@ func TestSystemAccessor(t *testing.T) {
 		t.Error("System() should not be nil")
 	}
 }
+
+// runDurable executes the lines against a processor backed by dataDir.
+func runDurable(t *testing.T, dataDir string, lines ...string) string {
+	t.Helper()
+	var out strings.Builder
+	p, err := NewAt(&out, dataDir)
+	if err != nil {
+		t.Fatalf("NewAt(%s): %v", dataDir, err)
+	}
+	for _, l := range lines {
+		quit, err := p.Execute(l)
+		if err != nil {
+			t.Fatalf("line %q: %v", l, err)
+		}
+		if quit {
+			break
+		}
+	}
+	return out.String()
+}
+
+// A durable session's declarations survive into a second session over the
+// same directory, and "recover" mid-session replays the directory too.
+func TestDurableSessionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := runDurable(t, dir,
+		"declare R 1000 x=100",
+		"checkpoint",
+		"declare S 500 y=50",
+		"serving",
+	)
+	if !strings.Contains(out, "checkpoint written: version 2") {
+		t.Errorf("checkpoint not acknowledged:\n%s", out)
+	}
+	if !strings.Contains(out, "durable: wal=") ||
+		!strings.Contains(out, "checkpoint-version=2") ||
+		!strings.Contains(out, "records-since-checkpoint=1") {
+		t.Errorf("serving durability line wrong:\n%s", out)
+	}
+
+	// Second session: both tables recovered (S from the WAL suffix).
+	out = runDurable(t, dir, "tables", "recover", "tables")
+	if strings.Count(out, "R  card=1000") != 2 || strings.Count(out, "S  card=500") != 2 {
+		t.Errorf("recovered catalog wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "recovered "+dir+": catalog version 3 (checkpoint 2 + 1 wal records)") {
+		t.Errorf("recover report wrong:\n%s", out)
+	}
+}
+
+// "recover <dir>" attaches an in-memory session to a durable directory;
+// without an argument an in-memory session explains what to do.
+func TestRecoverExplicitDir(t *testing.T) {
+	dir := t.TempDir()
+	runDurable(t, dir, "declare R 1000 x=100")
+
+	out := runLines(t, "recover", "checkpoint", "recover "+dir, "tables", "checkpoint")
+	if !strings.Contains(out, "no data directory") {
+		t.Errorf("bare recover on in-memory session should explain itself:\n%s", out)
+	}
+	// Checkpoint before attaching fails with the durability error; after
+	// attaching it succeeds.
+	if !strings.Contains(out, "error: els: durability failure") {
+		t.Errorf("checkpoint on in-memory session should fail:\n%s", out)
+	}
+	if !strings.Contains(out, "R  card=1000") {
+		t.Errorf("explicit recover did not load the catalog:\n%s", out)
+	}
+	if !strings.Contains(out, "checkpoint written:") {
+		t.Errorf("checkpoint after attach should succeed:\n%s", out)
+	}
+}
+
+// An in-memory session shows no durability line in serving output.
+func TestServingNoDurableLine(t *testing.T) {
+	out := runLines(t, "serving")
+	if strings.Contains(out, "durable:") {
+		t.Errorf("in-memory serving output should have no durable line:\n%s", out)
+	}
+}

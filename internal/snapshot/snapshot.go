@@ -39,22 +39,49 @@ func (s *Snapshot) Version() uint64 { return s.version }
 // Catalog is the snapshot's immutable catalog.
 func (s *Snapshot) Catalog() *catalog.Catalog { return s.cat }
 
+// Durability is the hook a durable log implements (see internal/durable).
+// When installed, LogMutation is called for each mutation after the
+// mutation function succeeds and before the new version is published; a
+// non-nil error aborts publication, so an acknowledged (published) version
+// is by construction a durable one.
+type Durability interface {
+	LogMutation(version uint64, prev, next *catalog.Catalog) error
+}
+
 // Store holds the current catalog snapshot and serializes writers.
 // Current is wait-free (one atomic load), so pinning a version at query
 // admission costs nothing even under heavy mutation traffic.
 type Store struct {
-	mu  sync.Mutex // serializes Mutate
+	mu  sync.Mutex // serializes Mutate; guards dur
+	dur Durability
 	cur atomic.Pointer[Snapshot]
 }
 
 // NewStore starts a store at version 1 holding cat.
 func NewStore(cat *catalog.Catalog) *Store {
+	return NewStoreAt(cat, 1)
+}
+
+// NewStoreAt starts a store at an explicit version — the recovery path:
+// a durable store reopens at the version its checkpoint + WAL replay
+// reached, and the snapshot chain continues from there.
+func NewStoreAt(cat *catalog.Catalog, version uint64) *Store {
 	if cat == nil {
 		cat = catalog.New()
 	}
+	if version == 0 {
+		version = 1
+	}
 	st := &Store{}
-	st.cur.Store(&Snapshot{version: 1, cat: cat})
+	st.cur.Store(&Snapshot{version: version, cat: cat})
 	return st
+}
+
+// SetDurability installs (or with nil removes) the durability hook.
+func (st *Store) SetDurability(d Durability) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.dur = d
 }
 
 // Current returns the latest published snapshot.
@@ -68,6 +95,11 @@ func (st *Store) Version() uint64 { return st.cur.Load().version }
 // fails, nothing is published and the error is returned: readers never see
 // a partially applied mutation. Writers are serialized; readers are never
 // blocked.
+//
+// With a Durability hook installed, the mutation is logged and fsynced
+// between fn succeeding and the version being published: a nil return
+// means the mutation is both visible and durable, and a durability failure
+// publishes nothing.
 func (st *Store) Mutate(fn func(*catalog.Catalog) error) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -76,6 +108,21 @@ func (st *Store) Mutate(fn func(*catalog.Catalog) error) error {
 	if err := fn(next); err != nil {
 		return err
 	}
+	if st.dur != nil {
+		if err := st.dur.LogMutation(cur.version+1, cur.cat, next); err != nil {
+			return err
+		}
+	}
 	st.cur.Store(&Snapshot{version: cur.version + 1, cat: next})
 	return nil
+}
+
+// Locked runs fn on the current snapshot while holding the writer lock, so
+// no version can be published during fn. Checkpointing uses it to capture
+// a (catalog, version) pair that is guaranteed still-current when the
+// checkpoint is written.
+func (st *Store) Locked(fn func(*Snapshot) error) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return fn(st.cur.Load())
 }

@@ -5,6 +5,7 @@ import (
 	"runtime/debug"
 
 	"repro/internal/admission"
+	"repro/internal/durable"
 	"repro/internal/governor"
 )
 
@@ -24,6 +25,11 @@ import (
 //	case errors.Is(err, els.ErrInternal):       // recovered panic (bug)
 //	}
 //
+// Catalog mutations on a durable system (els.Open) can additionally fail
+// with ErrDurability: the write-ahead log or checkpoint could not be made
+// durable, nothing was published, and the catalog is frozen against
+// further writes until the directory is reopened.
+//
 // errors.As exposes the structured details: *els.BudgetError names the
 // exhausted resource and its limit; *els.InternalError carries the panic
 // value and stack; *els.OverloadError names why admission shed the query.
@@ -35,6 +41,7 @@ var (
 	ErrInternal       = governor.ErrInternal
 	ErrOverloaded     = governor.ErrOverloaded
 	ErrClosed         = governor.ErrClosed
+	ErrDurability     = governor.ErrDurability
 )
 
 // Limits configures per-query resource budgets, the intra-query
@@ -69,6 +76,12 @@ func (s *System) SetLimits(l Limits) {
 		MaxQueue:      l.MaxQueue,
 		QueueTimeout:  l.QueueTimeout,
 	})
+	if s.dur != nil {
+		s.dur.SetOptions(durable.Options{
+			CheckpointEvery: l.CheckpointEvery,
+			NoFsync:         l.NoFsync,
+		})
+	}
 }
 
 // Limits returns the system's current default resource limits.

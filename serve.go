@@ -121,10 +121,18 @@ func (s *System) RobustnessStats() RobustnessStats {
 // queries to finish, and if ctx expires first cancels the stragglers'
 // serving contexts — they abort with ErrCanceled — and keeps waiting until
 // every slot is released. After Close returns there are zero in-flight
-// queries. Close is idempotent and returns ctx.Err() when the drain
-// deadline was hit, nil on a fully graceful drain.
+// queries. On a durable system (els.Open) the write-ahead log is then
+// flushed and closed; everything acknowledged before Close is recoverable
+// by reopening the directory. Close is idempotent and returns ctx.Err()
+// when the drain deadline was hit, nil on a fully graceful drain.
 func (s *System) Close(ctx context.Context) error {
-	return s.adm.Close(ctx)
+	err := s.adm.Close(ctx)
+	if s.dur != nil {
+		if derr := s.dur.Close(); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return err
 }
 
 // serve wraps one public query call with the serving layer: the circuit
