@@ -21,9 +21,16 @@
 //
 // -data-dir additionally benchmarks the durable catalog layer: the Section
 // 8 statistics catalog (at the run's -scale) is declared through the WAL,
-// compacted into an atomic checkpoint on exit, and then recovered with a
-// fresh els.Open whose wall-clock time lands in the -json report as
-// recovery_ms.
+// checkpointed halfway, and then recovered with a fresh els.Open whose
+// wall-clock time, replayed record count, and WAL byte volume land in the
+// -json report as recovery_ms, recovery_replayed_records, and
+// recovery_wal_bytes.
+//
+// -replicas N (with -data-dir) additionally benchmarks the replication
+// layer: N cold read replicas attach to the recovered catalog, and the
+// report records how long the fleet takes to catch up to the primary's
+// version (replica_catchup_ms) and its aggregate estimate throughput once
+// caught up (replica_reads_per_sec).
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -54,6 +62,7 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", 0, "admission control: max concurrently admitted runs (0 = unlimited)")
 		queueTimeout  = flag.Duration("queue-timeout", 0, "admission control: max time the run waits for a slot (0 = forever)")
 		dataDir       = flag.String("data-dir", "", "durable catalog directory: persist the Section 8 statistics catalog, checkpoint on exit, and measure recovery_ms")
+		replicas      = flag.Int("replicas", 0, "with -data-dir: attach N WAL-shipped read replicas, measure cold catch-up time and follower read throughput")
 	)
 	flag.Parse()
 	report := &experiment.BenchReport{Scale: *scale, Seed: *seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
@@ -71,7 +80,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "elsbench:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stdout, "durable recovery of %s: %.3f ms\n", *dataDir, report.RecoveryMillis)
+		fmt.Fprintf(os.Stdout, "durable recovery of %s: %.3f ms (%d wal records replayed, %d wal bytes)\n",
+			*dataDir, report.RecoveryMillis, report.RecoveryReplayedRecords, report.RecoveryWALBytes)
+	}
+	if *replicas > 0 {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "elsbench: -replicas requires -data-dir")
+			os.Exit(1)
+		}
+		if err := measureReplication(*dataDir, *replicas, report); err != nil {
+			fmt.Fprintln(os.Stderr, "elsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "replication: %d cold replicas caught up in %.3f ms; %.0f follower reads/s\n",
+			report.Replicas, report.ReplicaCatchupMillis, report.ReplicaReadsPerSec)
 	}
 	if *jsonPath != "" {
 		if err := experiment.WriteBenchJSON(*jsonPath, report); err != nil {
@@ -266,14 +288,18 @@ func measureRecovery(dir string, scale int, report *experiment.BenchReport) erro
 	}{
 		{"S", 1000, "s"}, {"M", 10000, "m"}, {"B", 50000, "b"}, {"G", 100000, "g"},
 	}
-	for _, t := range section8 {
+	for i, t := range section8 {
 		card := t.card / float64(scale)
 		if err := sys.DeclareStats(t.name, card, map[string]float64{t.col: card}); err != nil {
 			return err
 		}
-	}
-	if err := sys.Checkpoint(); err != nil {
-		return err
+		// Checkpoint halfway so the recovery measurement exercises both
+		// paths: checkpoint load AND a WAL-suffix replay.
+		if i == len(section8)/2-1 {
+			if err := sys.Checkpoint(); err != nil {
+				return err
+			}
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -286,7 +312,78 @@ func measureRecovery(dir string, scale int, report *experiment.BenchReport) erro
 		return err
 	}
 	report.RecoveryMillis = float64(time.Since(start).Microseconds()) / 1000
+	d := recovered.DurabilityStats()
+	report.RecoveryReplayedRecords = d.ReplayedRecords
+	report.RecoveryWALBytes = d.WALBytes
 	return recovered.Close(ctx)
+}
+
+// measureReplication reopens the durable catalog the recovery measurement
+// left behind as a replication primary, cold-attaches n read replicas
+// (each with its own durable directory under dir), and measures how long
+// the fleet takes to catch up to the primary's catalog version, then the
+// fleet's aggregate read throughput at lag 0.
+func measureReplication(dir string, n int, report *experiment.BenchReport) error {
+	sys, err := els.Open(dir)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	defer sys.Close(ctx)
+
+	// Widen the shipped history so catch-up replays real deltas, not just
+	// one full frame.
+	for i := 0; i < 32; i++ {
+		card := float64(1000 + i)
+		if err := sys.DeclareStats(fmt.Sprintf("RT%d", i), card, map[string]float64{"k": card}); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	reps := make([]*els.Replica, n)
+	for i := range reps {
+		rep, err := els.OpenReplica(filepath.Join(dir, fmt.Sprintf("replica%d", i)))
+		if err != nil {
+			return err
+		}
+		defer rep.Close(ctx)
+		if err := sys.AttachReplica(rep); err != nil {
+			return err
+		}
+		reps[i] = rep
+	}
+	if err := sys.WaitForReplicas(ctx); err != nil {
+		return err
+	}
+	report.Replicas = n
+	report.ReplicaCatchupMillis = float64(time.Since(start).Microseconds()) / 1000
+
+	// Aggregate follower read throughput: every caught-up replica serves a
+	// fixed batch of estimates concurrently.
+	const readsPerReplica = 2000
+	const probe = "SELECT COUNT(*) FROM S, M WHERE s = m"
+	start = time.Now()
+	done := make([]<-chan error, n)
+	for i, rep := range reps {
+		rep := rep
+		done[i] = workpool.Async(func() error {
+			for j := 0; j < readsPerReplica; j++ {
+				if _, err := rep.Estimate(probe, els.AlgorithmELS); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	for _, ch := range done {
+		if err := <-ch; err != nil {
+			return err
+		}
+	}
+	report.ReplicaReadsPerSec = float64(readsPerReplica*n) / time.Since(start).Seconds()
+	return nil
 }
 
 // resolveWorkers mirrors the executor's default: 0 means GOMAXPROCS.

@@ -20,6 +20,14 @@
 // startup, and the WAL is compacted into an atomic checkpoint on clean
 // exit. Inside the shell, "checkpoint" compacts eagerly and "recover"
 // replays the directory as a post-crash restart would.
+//
+// A durable session can also ship its WAL to read replicas: "replica
+// attach <dir>" opens a follower catalog that tails every acknowledged
+// mutation, "replica status" shows per-follower version, lag, and
+// quarantine state, and "replica promote <id>" fails the session over to
+// a replica, making it the writable primary. "limits max-replica-lag=N"
+// bounds how stale an attached replica may serve before reads are
+// rejected with a typed staleness error.
 package main
 
 import (

@@ -40,6 +40,7 @@ import (
 	"repro/internal/csvload"
 	"repro/internal/datagen"
 	"repro/internal/durable"
+	"repro/internal/replica"
 	"repro/internal/selest"
 	"repro/internal/snapshot"
 	"repro/internal/storage"
@@ -148,6 +149,15 @@ type System struct {
 	adm     *admission.Controller // concurrency gate + drain
 	breaker *admission.Breaker    // consecutive-internal-error circuit breaker
 	dur     *durable.Store        // WAL + checkpoints; nil for in-memory systems (New)
+
+	// Replication. On a primary, shipper streams acknowledged WAL records
+	// to attached replicas (created lazily by AttachReplica). On the inner
+	// system of an els.Replica, fol gates every read through the staleness
+	// and quarantine checks until promoted flips.
+	shipMu   sync.Mutex
+	shipper  *replica.Shipper
+	fol      *replica.Follower
+	promoted atomic.Bool
 
 	mu     sync.RWMutex
 	limits Limits // default per-query resource budgets (zero: ungoverned)

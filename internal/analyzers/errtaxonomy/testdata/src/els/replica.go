@@ -1,0 +1,39 @@
+package els
+
+import "fmt"
+
+// Replication fixture: staleness rejections and divergence quarantines
+// are part of the public taxonomy — a replica read refused for lag must
+// classify as ErrStaleReplica and a quarantined follower as ErrDiverged,
+// or callers cannot tell "retry / fail over to the primary" apart from
+// "this follower's state is provably wrong".
+
+var (
+	ErrStaleReplica = fmt.Errorf("els: replica too stale")
+	ErrDiverged     = fmt.Errorf("els: replica diverged from primary")
+)
+
+type follower struct {
+	lag, maxLag uint64
+	quarantined bool
+}
+
+func (f *follower) readCheckAdHoc() error {
+	if f.lag > f.maxLag {
+		return fmt.Errorf("els: replica is %d versions behind", f.lag) // want `wraps no taxonomy sentinel`
+	}
+	if f.quarantined {
+		return fmt.Errorf("els: replica catalog does not match primary digest") // want `wraps no taxonomy sentinel`
+	}
+	return nil
+}
+
+func (f *follower) readCheckClassified() error {
+	if f.lag > f.maxLag {
+		return fmt.Errorf("%w: replica is %d versions behind (bound %d)", ErrStaleReplica, f.lag, f.maxLag)
+	}
+	if f.quarantined {
+		return fmt.Errorf("%w: replica catalog does not match primary digest", ErrDiverged)
+	}
+	return nil
+}

@@ -59,6 +59,11 @@ import (
 // Probe points for fault-injected crash testing (internal/faultinject).
 // Arm them with a Fault carrying a DiskFault payload (short write + crash)
 // or a plain Err. Each models one instant a real process can die at.
+//
+// A store opened with OpenScoped fires scope-prefixed points
+// (scope + PointWALAppend, ...) so replication tests can crash one
+// follower's disk without touching the primary or its siblings; the
+// primary (Open, empty scope) keeps the bare names.
 const (
 	// PointWALAppend fires inside the WAL record write: a DiskFault short
 	// write leaves a torn record on disk.
@@ -90,23 +95,41 @@ type Options struct {
 	NoFsync bool
 }
 
+// FrameSink receives every WAL record the moment it has been made durable
+// — the hook the replication shipper (internal/replica) installs to stream
+// acknowledged mutations to followers. ShipFrame is called under the
+// store's lock after the record's fsync succeeded and immediately before
+// the mutation is acknowledged, so a sink sees exactly the acknowledged
+// history in version order; it must not block (hand off and return) and
+// must treat next as immutable — it is the catalog about to be published
+// as version.
+type FrameSink interface {
+	ShipFrame(version uint64, delta []byte, next *catalog.Catalog)
+}
+
 // Store is the durable log for one catalog directory. Its methods are
 // called under the snapshot store's writer lock (LogMutation, Checkpoint)
 // or are internally locked; a Store serializes itself regardless.
 type Store struct {
-	dir string
+	dir   string
+	scope string // probe-point prefix; "" for a primary
 
 	mu        sync.Mutex
 	wal       *os.File
 	walSize   int64
+	walBytes  int64  // cumulative bytes appended since Open (checkpoints don't reset it)
 	ckptVer   uint64 // version held by checkpoint.json (1 = implicit empty catalog)
 	lastVer   uint64 // last version appended (== published version once acknowledged)
 	records   int    // WAL records since the last checkpoint
 	opts      Options
-	poisoned  error // first durability failure; sticky until reopen
+	sink      FrameSink // ships acknowledged records to followers; may be nil
+	poisoned  error     // first durability failure; sticky until reopen
 	closed    bool
 	recovered recovered // what Open found, for Stats and the owner
 }
+
+// pt scopes a probe-point name to this store.
+func (s *Store) pt(point string) string { return s.scope + point }
 
 // recovered captures the outcome of Open's replay.
 type recovered struct {
@@ -119,7 +142,13 @@ type recovered struct {
 // Open recovers (or initializes) the durable catalog directory and returns
 // a Store positioned to append. The recovered catalog and version are
 // available from Catalog/Version until the owner takes them over.
-func Open(dir string) (*Store, error) {
+func Open(dir string) (*Store, error) { return OpenScoped(dir, "") }
+
+// OpenScoped is Open with a probe-point scope: every faultinject point the
+// store consults is prefixed with scope, so tests can fault one store
+// (one replica's disk) in a process running several. The empty scope — a
+// primary — fires the bare canonical names.
+func OpenScoped(dir, scope string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("%w: creating data dir %s: %w", governor.ErrDurability, dir, err)
 	}
@@ -154,7 +183,7 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: opening wal %s: %w", governor.ErrDurability, walPath, err)
 	}
-	st := &Store{dir: dir, wal: wal, ckptVer: ckptVer}
+	st := &Store{dir: dir, scope: scope, wal: wal, ckptVer: ckptVer}
 	version, tornTail, replayed, err := st.replay(cat, version)
 	if err != nil {
 		wal.Close()
@@ -162,6 +191,7 @@ func Open(dir string) (*Store, error) {
 	}
 	st.lastVer = version
 	st.records = replayed
+	st.walBytes = st.walSize
 	st.recovered = recovered{cat: cat, version: version, tornTail: tornTail, replayed: replayed}
 	return st, nil
 }
@@ -251,6 +281,14 @@ func (s *Store) SetOptions(o Options) {
 	s.opts = o
 }
 
+// SetSink installs (or with nil removes) the frame sink that streams
+// acknowledged WAL records to replication followers.
+func (s *Store) SetSink(k FrameSink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = k
+}
+
 // Stats is a point-in-time snapshot of the store's durability state.
 type Stats struct {
 	// Dir is the data directory.
@@ -265,6 +303,14 @@ type Stats struct {
 	RecordsSinceCheckpoint int
 	// LastVersion is the last version made durable.
 	LastVersion uint64
+	// ReplayedRecords counts the WAL records the last Open applied on top
+	// of the checkpoint — how much of recovery was replay rather than
+	// checkpoint load.
+	ReplayedRecords int
+	// WALBytes is the cumulative volume appended to the WAL since Open
+	// (recovered suffix included). Unlike WALSizeBytes it is not reset by
+	// checkpoint truncation, so it tracks total write/ship volume.
+	WALBytes int64
 	// TornTailRecovered reports whether the last Open truncated a torn
 	// trailing record.
 	TornTailRecovered bool
@@ -282,6 +328,8 @@ func (s *Store) Stats() Stats {
 		CheckpointVersion:      s.ckptVer,
 		RecordsSinceCheckpoint: s.records,
 		LastVersion:            s.lastVer,
+		ReplayedRecords:        s.recovered.replayed,
+		WALBytes:               s.walBytes,
 		TornTailRecovered:      s.recovered.tornTail,
 		Poisoned:               s.poisoned,
 	}
@@ -325,13 +373,14 @@ func (s *Store) LogMutation(version uint64, prev, next *catalog.Catalog) error {
 	}
 	frame := encodeRecord(version, delta.Bytes())
 
-	if f, ok := faultinject.Fire(PointWALAppend); ok {
+	if f, ok := faultinject.Fire(s.pt(PointWALAppend)); ok {
 		if df, isDisk := f.Payload.(faultinject.DiskFault); isDisk {
 			if df.ShortWrite >= 0 && df.ShortWrite < len(frame) {
 				frame = frame[:df.ShortWrite]
 			}
 			if n, werr := s.wal.Write(frame); werr == nil {
 				s.walSize += int64(n)
+				s.walBytes += int64(n)
 			}
 			return s.poison(fmt.Errorf("%w: wal append for version %d: %w",
 				governor.ErrDurability, version, faultinject.ErrCrash))
@@ -342,11 +391,12 @@ func (s *Store) LogMutation(version uint64, prev, next *catalog.Catalog) error {
 	}
 	n, err := s.wal.Write(frame)
 	s.walSize += int64(n)
+	s.walBytes += int64(n)
 	if err != nil {
 		return s.poison(fmt.Errorf("%w: wal append for version %d: %w", governor.ErrDurability, version, err))
 	}
 
-	if f, ok := faultinject.Fire(PointWALSync); ok {
+	if f, ok := faultinject.Fire(s.pt(PointWALSync)); ok {
 		err := f.Err
 		if err == nil {
 			err = faultinject.ErrCrash
@@ -360,6 +410,12 @@ func (s *Store) LogMutation(version uint64, prev, next *catalog.Catalog) error {
 	}
 	s.lastVer = version
 	s.records++
+	if s.sink != nil {
+		// The record is durable; stream it to followers before the caller
+		// is acknowledged so shipping observes exactly the acknowledged
+		// history in version order. The sink hands off without blocking.
+		s.sink.ShipFrame(version, delta.Bytes(), next)
+	}
 	if s.opts.CheckpointEvery > 0 && s.records >= s.opts.CheckpointEvery {
 		// The record is durable and the version will be acknowledged
 		// regardless of how compaction fares; a compaction failure still
@@ -369,6 +425,26 @@ func (s *Store) LogMutation(version uint64, prev, next *catalog.Catalog) error {
 			s.poison(err)
 		}
 	}
+	return nil
+}
+
+// ResetTo abandons the store's current history and makes cat at version
+// its new durable state: an atomic checkpoint of cat is published and the
+// WAL truncated, after which appends continue from version. This is the
+// follower full-resync path — a replica that lost frames (or diverged and
+// was quarantined) is handed the primary's complete catalog and must
+// persist it at the primary's version, exactly as if it had replayed every
+// frame it missed.
+func (s *Store) ResetTo(cat *catalog.Catalog, version uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkUsable(); err != nil {
+		return err
+	}
+	if err := s.checkpointLocked(cat, version); err != nil {
+		return s.poison(err)
+	}
+	s.lastVer = version
 	return nil
 }
 
@@ -404,7 +480,7 @@ func (s *Store) checkpointLocked(cat *catalog.Catalog, version uint64) (err erro
 	}()
 
 	data := buf.Bytes()
-	if f, ok := faultinject.Fire(PointCheckpointWrite); ok {
+	if f, ok := faultinject.Fire(s.pt(PointCheckpointWrite)); ok {
 		if df, isDisk := f.Payload.(faultinject.DiskFault); isDisk {
 			short := data
 			if df.ShortWrite >= 0 && df.ShortWrite < len(data) {
@@ -437,7 +513,7 @@ func (s *Store) checkpointLocked(cat *catalog.Catalog, version uint64) (err erro
 		return fmt.Errorf("%w: closing checkpoint temp: %w", governor.ErrDurability, err)
 	}
 
-	if fa, ok := faultinject.Fire(PointCheckpointRename); ok {
+	if fa, ok := faultinject.Fire(s.pt(PointCheckpointRename)); ok {
 		err = nil // leave the durable temp for recovery to clean up
 		ferr := fa.Err
 		if ferr == nil {
@@ -452,7 +528,7 @@ func (s *Store) checkpointLocked(cat *catalog.Catalog, version uint64) (err erro
 		return err
 	}
 
-	if fa, ok := faultinject.Fire(PointWALTruncate); ok {
+	if fa, ok := faultinject.Fire(s.pt(PointWALTruncate)); ok {
 		ferr := fa.Err
 		if ferr == nil {
 			ferr = faultinject.ErrCrash

@@ -37,6 +37,20 @@ type BenchReport struct {
 	// measurement (els.Open replaying checkpoint + WAL), when the run
 	// included one; 0 otherwise.
 	RecoveryMillis float64 `json:"recovery_ms"`
+	// RecoveryReplayedRecords and RecoveryWALBytes describe what that
+	// recovery actually replayed: WAL records applied on top of the
+	// checkpoint, and the WAL bytes read to do it.
+	RecoveryReplayedRecords int   `json:"recovery_replayed_records"`
+	RecoveryWALBytes        int64 `json:"recovery_wal_bytes"`
+	// Replicas is the follower count of the replication measurement
+	// (-replicas with -data-dir); 0 when the run had none.
+	Replicas int `json:"replicas"`
+	// ReplicaCatchupMillis is the wall-clock time for that many cold
+	// followers to attach and catch up to the primary's catalog version.
+	ReplicaCatchupMillis float64 `json:"replica_catchup_ms"`
+	// ReplicaReadsPerSec is the aggregate estimate throughput of the
+	// caught-up follower fleet.
+	ReplicaReadsPerSec float64 `json:"replica_reads_per_sec"`
 }
 
 // SumTuplesScanned totals the executor work across a Section 8 table's rows.

@@ -41,6 +41,24 @@ type DiskFault struct {
 	ShortWrite int
 }
 
+// LinkFault is the Payload type replication-link probe points interpret:
+// it mangles (or swallows) one encoded frame in flight between the
+// primary's shipper and a follower, modeling a lossy or corrupting
+// transport. Arm it with Fault{Payload: LinkFault{...}}; combine with
+// Fault.Delay for a slow link.
+type LinkFault struct {
+	// Drop swallows the frame entirely: the follower never sees it and
+	// must detect the gap from the next frame (or a nudge) and request a
+	// resync.
+	Drop bool
+	// CorruptBit, when >= 0, flips that bit of the encoded frame — the
+	// checksum must catch it. Negative leaves the frame intact.
+	CorruptBit int
+	// Truncate, when >= 0, delivers only that many leading bytes of the
+	// frame. Negative delivers the frame whole.
+	Truncate int
+}
+
 // Fault describes what an armed probe does when hit.
 type Fault struct {
 	// Err, if non-nil, is returned by Check at the probe site.

@@ -59,6 +59,18 @@ var (
 	// system is reopened, because the on-disk suffix state is unknown.
 	// Queries keep serving from the last published in-memory version.
 	ErrDurability = errors.New("els: durability failure")
+	// ErrStaleReplica reports that a read replica is further behind the
+	// primary than Limits.MaxReplicaLag allows. The read was rejected
+	// before estimation started; the caller can retry (replicas catch up)
+	// or fail over to the primary, which is never stale.
+	ErrStaleReplica = errors.New("els: stale replica")
+	// ErrDiverged reports that a read replica's catalog failed the
+	// version-digest audit: after replaying a shipped frame for version V
+	// its catalog was not byte-identical to the primary's catalog at V.
+	// The replica is quarantined — every subsequent read fails with this
+	// error — until it is re-attached and resynchronized from a full
+	// catalog frame.
+	ErrDiverged = errors.New("els: replica diverged")
 )
 
 // BudgetError is the concrete error for an exhausted budget. It matches
@@ -131,6 +143,46 @@ func NewInternal(value any, stack []byte) *InternalError {
 	return &InternalError{Value: value, Stack: stack}
 }
 
+// StaleReplicaError is the concrete error for a read rejected on a
+// lagging replica. It matches ErrStaleReplica under errors.Is and reports
+// how far behind the replica was.
+type StaleReplicaError struct {
+	// ReplicaID names the replica that rejected the read.
+	ReplicaID string
+	// Lag is how many catalog versions the replica trailed the primary at
+	// rejection time; MaxLag is the Limits.MaxReplicaLag bound in force.
+	Lag, MaxLag uint64
+}
+
+func (e *StaleReplicaError) Error() string {
+	return fmt.Sprintf("els: stale replica %s: %d versions behind primary (max-replica-lag %d)",
+		e.ReplicaID, e.Lag, e.MaxLag)
+}
+
+// Unwrap makes errors.Is(err, ErrStaleReplica) hold.
+func (e *StaleReplicaError) Unwrap() error { return ErrStaleReplica }
+
+// DivergenceError is the concrete error for a failed replica digest
+// audit. It matches ErrDiverged under errors.Is and carries the hex
+// SHA-256 digests that disagreed.
+type DivergenceError struct {
+	// ReplicaID names the quarantined replica.
+	ReplicaID string
+	// Version is the catalog version whose digests disagreed.
+	Version uint64
+	// Want is the digest the primary shipped with the frame; Got is the
+	// digest of the replica's catalog after replaying it.
+	Want, Got string
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("els: replica %s diverged at catalog version %d: digest %s, primary shipped %s",
+		e.ReplicaID, e.Version, e.Got, e.Want)
+}
+
+// Unwrap makes errors.Is(err, ErrDiverged) hold.
+func (e *DivergenceError) Unwrap() error { return ErrDiverged }
+
 // Limits configures per-query resource budgets and parallelism. The zero
 // value enforces nothing and uses the default worker count.
 type Limits struct {
@@ -174,6 +226,12 @@ type Limits struct {
 	// durability of the latest acknowledged mutations for bulk-load
 	// throughput. Checkpoints still fsync before publishing.
 	NoFsync bool
+	// MaxReplicaLag bounds how many catalog versions behind the primary a
+	// read replica (els.OpenReplica) may serve from: a read on a replica
+	// lagging further is rejected with ErrStaleReplica before estimation
+	// starts. 0 means unbounded — every read serves, however stale. It
+	// has no effect on a primary, which is never stale.
+	MaxReplicaLag int
 }
 
 // Enforced reports whether any budget limit is set (Workers is a

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -22,6 +23,9 @@ type Processor struct {
 	algo    els.Algorithm
 	out     io.Writer
 	dataDir string // durable catalog directory; "" for in-memory sessions
+
+	replicas    map[string]*els.Replica // attached read replicas by ID
+	replicaDirs map[string]string       // replica ID → data directory
 }
 
 // New creates a processor writing to out, starting with Algorithm ELS.
@@ -76,6 +80,8 @@ func (p *Processor) Execute(line string) (quit bool, err error) {
 		return false, p.checkpoint()
 	case "recover":
 		return false, p.recoverCatalog(fields[1:])
+	case "replica":
+		return false, p.replica(fields[1:])
 	case "declare":
 		return false, p.declare(fields[1:])
 	case "load":
@@ -118,9 +124,10 @@ func (p *Processor) help() error {
   algos                                     list algorithms
   limits [timeout=D] [tuples=N] [rows=N] [plans=N] [workers=N]
          [max-concurrent=N] [max-queue=N] [queue-timeout=D]
+         [max-replica-lag=N]
                                             set per-query budgets, parallelism,
-                                            and admission control
-                                            ("limits off" clears)
+                                            admission control, and replica
+                                            staleness ("limits off" clears)
   serving                                   show serving-layer counters
                                             (catalog version, admission, retries,
                                             circuit breaker, durability)
@@ -128,6 +135,12 @@ func (p *Processor) help() error {
                                             checkpoint (durable sessions)
   recover [dir]                             reopen the durable catalog, replaying
                                             checkpoint + WAL (crash recovery)
+  replica attach <dir>                      open <dir> as a read replica and ship
+                                            this session's WAL to it
+  replica status                            per-replica version/lag/quarantine and
+                                            shipper counters
+  replica promote <id>                      fail over: the replica becomes the
+                                            session's writable primary
   estimate <sql>                            estimate without executing
   explain <sql>                             show closure + plan + estimates
   analyze <sql>                             execute and show est-vs-actual per node
@@ -154,14 +167,14 @@ func (p *Processor) setAlgo(args []string) error {
 	return nil
 }
 
-const limitsUsage = "usage: limits [timeout=D] [tuples=N] [rows=N] [plans=N] [workers=N] [max-concurrent=N] [max-queue=N] [queue-timeout=D] | limits off"
+const limitsUsage = "usage: limits [timeout=D] [tuples=N] [rows=N] [plans=N] [workers=N] [max-concurrent=N] [max-queue=N] [queue-timeout=D] [max-replica-lag=N] | limits off"
 
 // formatLimits renders one line of the full limit set, budgets and
 // admission control alike.
 func formatLimits(l els.Limits) string {
-	return fmt.Sprintf("timeout=%s tuples=%d rows=%d plans=%d workers=%d max-concurrent=%d max-queue=%d queue-timeout=%s",
+	return fmt.Sprintf("timeout=%s tuples=%d rows=%d plans=%d workers=%d max-concurrent=%d max-queue=%d queue-timeout=%s max-replica-lag=%d",
 		l.Timeout, l.MaxTuples, l.MaxRows, l.MaxPlans, l.Workers,
-		l.MaxConcurrent, l.MaxQueue, l.QueueTimeout)
+		l.MaxConcurrent, l.MaxQueue, l.QueueTimeout, l.MaxReplicaLag)
 }
 
 // limits shows or updates the system's per-query resource budgets and
@@ -170,7 +183,7 @@ func formatLimits(l els.Limits) string {
 func (p *Processor) limits(args []string) error {
 	if len(args) == 0 {
 		l := p.sys.Limits()
-		if !l.Enforced() && !l.Admission() && l.Workers == 0 && l.MaxQueue == 0 && l.QueueTimeout == 0 {
+		if !l.Enforced() && !l.Admission() && l.Workers == 0 && l.MaxQueue == 0 && l.QueueTimeout == 0 && l.MaxReplicaLag == 0 {
 			p.printf("no limits\n")
 			return nil
 		}
@@ -206,7 +219,7 @@ func (p *Processor) limits(args []string) error {
 			} else {
 				l.QueueTimeout = d
 			}
-		case "tuples", "rows", "plans", "workers", "max-concurrent", "max-queue":
+		case "tuples", "rows", "plans", "workers", "max-concurrent", "max-queue", "max-replica-lag":
 			n, err := strconv.ParseInt(parts[1], 10, 64)
 			if err != nil {
 				p.printf("bad %s limit %q\n%s\n", key, parts[1], limitsUsage)
@@ -229,13 +242,20 @@ func (p *Processor) limits(args []string) error {
 				l.MaxConcurrent = int(n)
 			case "max-queue":
 				l.MaxQueue = int(n)
+			case "max-replica-lag":
+				l.MaxReplicaLag = int(n)
 			}
 		default:
-			p.printf("unknown limit %q (want timeout, tuples, rows, plans, workers, max-concurrent, max-queue, queue-timeout)\n", parts[0])
+			p.printf("unknown limit %q (want timeout, tuples, rows, plans, workers, max-concurrent, max-queue, queue-timeout, max-replica-lag)\n", parts[0])
 			return nil
 		}
 	}
 	p.sys.SetLimits(l)
+	// Replica staleness is checked replica-side; keep attached replicas on
+	// the session's limit set.
+	for _, rep := range p.replicas {
+		rep.SetLimits(l)
+	}
 	p.printf("limits set: %s\n", formatLimits(l))
 	return nil
 }
@@ -257,8 +277,9 @@ func (p *Processor) serving() error {
 		if d.Poisoned != nil {
 			frozen = " FROZEN (reopen to recover)"
 		}
-		p.printf("durable: wal=%dB checkpoint-version=%d records-since-checkpoint=%d%s\n",
-			d.WALSizeBytes, d.CheckpointVersion, d.RecordsSinceCheckpoint, frozen)
+		p.printf("durable: wal=%dB checkpoint-version=%d records-since-checkpoint=%d replayed-records=%d wal-appended=%dB%s\n",
+			d.WALSizeBytes, d.CheckpointVersion, d.RecordsSinceCheckpoint,
+			d.ReplayedRecords, d.WALBytes, frozen)
 	}
 	return nil
 }
@@ -311,6 +332,144 @@ func (p *Processor) recoverCatalog(args []string) error {
 	}
 	p.printf("recovered %s: catalog version %d (checkpoint %d + %d wal records%s)\n",
 		dir, d.LastVersion, d.CheckpointVersion, d.RecordsSinceCheckpoint, torn)
+	return nil
+}
+
+const replicaUsage = "usage: replica attach <dir> | replica status | replica promote <id>"
+
+// replica dispatches the replication subcommands: attach opens a
+// directory as a read replica of the session's durable catalog, status
+// reports the shipping layer, and promote fails the session over to a
+// replica.
+func (p *Processor) replica(args []string) error {
+	if len(args) == 0 {
+		p.printf("%s\n", replicaUsage)
+		return nil
+	}
+	switch strings.ToLower(args[0]) {
+	case "attach":
+		return p.replicaAttach(args[1:])
+	case "status":
+		return p.replicaStatus()
+	case "promote":
+		return p.replicaPromote(args[1:])
+	default:
+		p.printf("unknown replica subcommand %q\n%s\n", args[0], replicaUsage)
+		return nil
+	}
+}
+
+// replicaAttach opens (or heals) a read replica and ships the session's
+// WAL to it. Re-attaching an already-tracked replica ID is the explicit
+// quarantine-heal path; it never reopens the directory a live replica
+// still holds.
+func (p *Processor) replicaAttach(args []string) error {
+	if len(args) != 1 {
+		p.printf("%s\n", replicaUsage)
+		return nil
+	}
+	dir := args[0]
+	id := filepath.Base(filepath.Clean(dir))
+	if old, ok := p.replicas[id]; ok {
+		if err := p.sys.AttachReplica(old); err != nil {
+			p.printf("error: %v\n", err)
+			return nil
+		}
+		p.printf("replica %s re-attached (resync requested)\n", id)
+		return nil
+	}
+	rep, err := els.OpenReplica(dir)
+	if err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	if err := p.sys.AttachReplica(rep); err != nil {
+		//ctxflow:allow repl session owns the replica end-to-end; bounded drain of a failed attach
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		rep.Close(ctx)
+		cancel()
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	rep.SetLimits(p.sys.Limits())
+	if p.replicas == nil {
+		p.replicas = map[string]*els.Replica{}
+		p.replicaDirs = map[string]string{}
+	}
+	p.replicas[id] = rep
+	p.replicaDirs[id] = dir
+	p.printf("replica %s attached at version %d (resyncing to %d)\n",
+		id, rep.CatalogVersion(), p.sys.CatalogVersion())
+	return nil
+}
+
+// replicaStatus prints the primary's digest identity, the shipper
+// counters, and one line per follower.
+func (p *Processor) replicaStatus() error {
+	if len(p.replicas) == 0 {
+		p.printf("no replicas attached\n")
+		return nil
+	}
+	ver, dig, err := p.sys.CatalogDigest()
+	if err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	p.printf("primary: version=%d digest=%.12s\n", ver, dig)
+	st := p.sys.ReplicationStats()
+	p.printf("shipper: shipped=%d resyncs=%d queue-drops=%d link-drops=%d\n",
+		st.FramesShipped, st.Resyncs, st.QueueDrops, st.LinkDrops)
+	for _, f := range st.Followers {
+		flags := ""
+		if f.Quarantined {
+			flags += " QUARANTINED (replica attach <dir> to heal)"
+		}
+		if f.Down {
+			flags += " DOWN (reopen its directory)"
+		}
+		p.printf("replica %s: version=%d known=%d lag=%d applied=%d full=%d served=%d stale=%d%s\n",
+			f.ID, f.Version, f.Known, f.Lag, f.FramesApplied, f.FullFrames,
+			f.ServedReads, f.StaleReads, flags)
+	}
+	return nil
+}
+
+// replicaPromote fails the session over to an attached replica: the
+// replica becomes the writable primary, the old primary is drained and
+// closed, and every surviving replica is re-pointed at the new primary.
+func (p *Processor) replicaPromote(args []string) error {
+	if len(args) != 1 {
+		p.printf("%s\n", replicaUsage)
+		return nil
+	}
+	id := args[0]
+	rep, ok := p.replicas[id]
+	if !ok {
+		p.printf("no attached replica %q (try: replica status)\n", id)
+		return nil
+	}
+	sys, err := rep.Promote()
+	if err != nil {
+		p.printf("error: %v\n", err)
+		return nil
+	}
+	delete(p.replicas, id)
+	dir := p.replicaDirs[id]
+	delete(p.replicaDirs, id)
+	//ctxflow:allow repl session owns both systems end-to-end; bounded drain of the demoted primary
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if cerr := p.sys.Close(ctx); cerr != nil {
+		p.printf("note: closing previous primary: %v\n", cerr)
+	}
+	p.sys, p.dataDir = sys, dir
+	for rid, r := range p.replicas {
+		if aerr := p.sys.AttachReplica(r); aerr != nil {
+			p.printf("note: re-attaching replica %s: %v\n", rid, aerr)
+		}
+	}
+	p.printf("replica %s promoted: session now writes %s at version %d\n",
+		id, dir, sys.CatalogVersion())
 	return nil
 }
 

@@ -1,10 +1,12 @@
 package repl
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // runLines executes the lines and returns the combined output.
@@ -318,5 +320,76 @@ func TestServingNoDurableLine(t *testing.T) {
 	out := runLines(t, "serving")
 	if strings.Contains(out, "durable:") {
 		t.Errorf("in-memory serving output should have no durable line:\n%s", out)
+	}
+}
+
+// A durable session attaches a read replica, ships its declarations,
+// reports per-replica status, and fails over with "replica promote": the
+// promoted replica becomes the writable session catalog.
+func TestReplicaCommands(t *testing.T) {
+	root := t.TempDir()
+	primary := filepath.Join(root, "primary")
+	repDir := filepath.Join(root, "r0")
+
+	var out strings.Builder
+	p, err := NewAt(&out, primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(line string) {
+		t.Helper()
+		if _, err := p.Execute(line); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+	}
+	run("declare R 1000 x=100")
+	run("replica attach " + repDir)
+	if !strings.Contains(out.String(), "replica r0 attached") {
+		t.Fatalf("attach not acknowledged:\n%s", out.String())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.System().WaitForReplicas(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	run("limits max-replica-lag=2")
+	if !strings.Contains(out.String(), "max-replica-lag=2") {
+		t.Errorf("limits line misses max-replica-lag:\n%s", out.String())
+	}
+	run("replica status")
+	got := out.String()
+	for _, want := range []string{"primary: version=", "shipper: shipped=", "replica r0: version=", "lag=0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("status output misses %q:\n%s", want, got)
+		}
+	}
+
+	run("replica promote r0")
+	if !strings.Contains(out.String(), "replica r0 promoted") {
+		t.Fatalf("promote not acknowledged:\n%s", out.String())
+	}
+	run("replica status")
+	if !strings.Contains(out.String(), "no replicas attached") {
+		t.Errorf("promoted replica still listed:\n%s", out.String())
+	}
+	// The promoted catalog is writable and carries the shipped statistics.
+	run("declare S 500 y=50")
+	run("tables")
+	got = out.String()
+	if !strings.Contains(got, "R  card=1000") || !strings.Contains(got, "S  card=500") {
+		t.Errorf("promoted session catalog wrong:\n%s", got)
+	}
+
+	run("replica")
+	run("replica promote nope")
+	got = out.String()
+	if !strings.Contains(got, "usage: replica attach") || !strings.Contains(got, `no attached replica "nope"`) {
+		t.Errorf("replica usage/error output wrong:\n%s", got)
+	}
+	cctx, ccancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer ccancel()
+	if err := p.System().Close(cctx); err != nil {
+		t.Errorf("closing promoted session: %v", err)
 	}
 }

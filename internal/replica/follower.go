@@ -1,0 +1,271 @@
+package replica
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/durable"
+	"repro/internal/faultinject"
+	"repro/internal/governor"
+	"repro/internal/snapshot"
+)
+
+// PointApply is the faultinject probe-point prefix fired inside a
+// follower's delta replay, scoped per follower as PointApply + ":" + id.
+// Arm it with a Payload of type func(*catalog.Catalog) to corrupt the
+// follower's replayed catalog in place — the way replication tests
+// manufacture divergence for the digest audit to catch — or a plain Err to
+// fail the replay.
+const PointApply = "replica.apply"
+
+// Follower is one read replica's replication state: its own durable store
+// (WAL + checkpoints, recovered exactly like a primary's), its own
+// copy-on-write snapshot store that read-only queries pin versions from,
+// and the bookkeeping that certifies those versions against the primary —
+// the announced primary version (for lag), the digest audit, and the
+// sticky quarantine.
+//
+// Apply and the resync path serialize on an internal lock; reads
+// (ReadCheck, Version, Lag) never block behind a replay.
+type Follower struct {
+	id    string
+	dur   *durable.Store
+	store *snapshot.Store
+
+	known atomic.Uint64 // highest primary version announced to this follower
+
+	mu          sync.Mutex
+	quarantined error // sticky *governor.DivergenceError until resync
+
+	framesApplied atomic.Uint64
+	framesSkipped atomic.Uint64
+	fullFrames    atomic.Uint64
+	servedReads   atomic.Uint64
+	staleReads    atomic.Uint64
+}
+
+// NewFollower wraps a follower's recovered durable store and the snapshot
+// store serving its reads. The snapshot store must already have the
+// durable store installed as its Durability hook, so replayed deltas are
+// persisted to the follower's own WAL before they are published.
+func NewFollower(id string, dur *durable.Store, store *snapshot.Store) *Follower {
+	f := &Follower{id: id, dur: dur, store: store}
+	// Until the primary announces, the follower only knows its own
+	// recovered version; lag is measured from there.
+	f.known.Store(store.Version())
+	return f
+}
+
+// ID returns the follower's identifier (its data directory base name).
+func (f *Follower) ID() string { return f.id }
+
+// Version returns the follower's current applied catalog version.
+func (f *Follower) Version() uint64 { return f.store.Version() }
+
+// Announce records that the primary has acknowledged version — the
+// reliable control signal shipped alongside (and independently of) data
+// frames, so lag stays honest even when data frames are lost in flight.
+func (f *Follower) Announce(version uint64) {
+	for {
+		cur := f.known.Load()
+		if version <= cur || f.known.CompareAndSwap(cur, version) {
+			return
+		}
+	}
+}
+
+// Known returns the highest primary version announced so far.
+func (f *Follower) Known() uint64 { return f.known.Load() }
+
+// Lag returns how many catalog versions the follower trails the announced
+// primary version (0 when caught up).
+func (f *Follower) Lag() uint64 {
+	known, have := f.known.Load(), f.store.Version()
+	if known <= have {
+		return 0
+	}
+	return known - have
+}
+
+// Quarantined returns the sticky divergence error, or nil.
+func (f *Follower) Quarantined() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.quarantined
+}
+
+// CurrentDigest computes the SHA-256 identity of the follower's current
+// catalog version — what audits compare against the primary's.
+func (f *Follower) CurrentDigest() (uint64, [DigestSize]byte, error) {
+	snap := f.store.Current()
+	d, err := CatalogDigest(snap.Catalog(), snap.Version())
+	return snap.Version(), d, err
+}
+
+// ReadCheck admits or rejects one read under maxLag (0 = unbounded): a
+// quarantined follower rejects with its divergence error, a follower more
+// than maxLag versions behind rejects with a *governor.StaleReplicaError,
+// and an admitted read reports the lag it will be served at.
+func (f *Follower) ReadCheck(maxLag int) (uint64, error) {
+	if q := f.Quarantined(); q != nil {
+		f.staleReads.Add(1)
+		return 0, q
+	}
+	lag := f.Lag()
+	if maxLag > 0 && lag > uint64(maxLag) {
+		f.staleReads.Add(1)
+		return lag, &governor.StaleReplicaError{ReplicaID: f.id, Lag: lag, MaxLag: uint64(maxLag)}
+	}
+	f.servedReads.Add(1)
+	return lag, nil
+}
+
+// Apply decodes and replays one shipped frame. The error taxonomy is the
+// shipper's dispatch table: nil (applied or idempotently skipped),
+// ErrBadFrame/ErrFrameGap (re-ship — see NeedsResync), ErrDiverged (the
+// digest audit failed; the follower is now quarantined), or a
+// governor.ErrDurability from the follower's own disk (the follower is
+// down until reopened). It never panics on adversarial input.
+func (f *Follower) Apply(data []byte) error {
+	fr, err := DecodeFrame(data)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fr.Version > f.known.Load() {
+		f.Announce(fr.Version) // data implies the primary acked it
+	}
+	switch fr.Kind {
+	case FrameFull:
+		return f.applyFull(fr)
+	default:
+		return f.applyDelta(fr)
+	}
+}
+
+// applyDelta replays one mutation delta. Caller holds f.mu.
+func (f *Follower) applyDelta(fr Frame) error {
+	if f.quarantined != nil {
+		// Divergence is sticky: replaying further deltas onto a
+		// known-wrong catalog could only manufacture more wrong versions.
+		return f.quarantined
+	}
+	cur := f.store.Version()
+	switch {
+	case fr.Version <= cur:
+		// Duplicate of an already-applied version (re-ship overlap);
+		// replay is idempotent by skipping, never by re-applying.
+		f.framesSkipped.Add(1)
+		return nil
+	case fr.Version > cur+1:
+		return fmt.Errorf("%w: follower %s is at version %d, frame carries version %d",
+			ErrFrameGap, f.id, cur, fr.Version)
+	}
+	err := f.store.Mutate(func(cat *catalog.Catalog) error {
+		if _, ierr := cat.ImportVersionedJSON(bytes.NewReader(fr.Body)); ierr != nil {
+			return fmt.Errorf("%w: delta for version %d: %w", ErrBadFrame, fr.Version, ierr)
+		}
+		if fault, ok := faultinject.Fire(PointApply + ":" + f.id); ok {
+			if corrupt, isCorruptor := fault.Payload.(func(*catalog.Catalog)); isCorruptor {
+				corrupt(cat)
+			}
+			if fault.Err != nil {
+				return fault.Err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// The digest audit: the version just published must be byte-identical
+	// to the primary's catalog at the same version, or the follower is
+	// provably not a replica anymore.
+	got, err := CatalogDigest(f.store.Current().Catalog(), fr.Version)
+	if err != nil {
+		return fmt.Errorf("%w: digest of replayed version %d: %w", governor.ErrInternal, fr.Version, err)
+	}
+	if got != fr.Digest {
+		f.quarantined = &governor.DivergenceError{
+			ReplicaID: f.id,
+			Version:   fr.Version,
+			Want:      hex.EncodeToString(fr.Digest[:]),
+			Got:       hex.EncodeToString(got[:]),
+		}
+		return f.quarantined
+	}
+	f.framesApplied.Add(1)
+	return nil
+}
+
+// applyFull installs the primary's complete catalog at the primary's
+// version — the resynchronization path. It verifies the payload against
+// the frame digest, persists it to the follower's own durable store
+// (checkpoint + WAL reset), publishes it, and lifts any quarantine: the
+// follower's identity is re-certified by construction. Caller holds f.mu.
+func (f *Follower) applyFull(fr Frame) error {
+	if sha256.Sum256(fr.Body) != fr.Digest {
+		return fmt.Errorf("%w: full frame for version %d fails its digest", ErrBadFrame, fr.Version)
+	}
+	cat := catalog.New()
+	v, err := cat.ImportVersionedJSON(bytes.NewReader(fr.Body))
+	if err != nil {
+		return fmt.Errorf("%w: full frame for version %d: %w", ErrBadFrame, fr.Version, err)
+	}
+	if v != fr.Version {
+		return fmt.Errorf("%w: full frame framed as version %d carries catalog_version %d",
+			ErrBadFrame, fr.Version, v)
+	}
+	if err := f.dur.ResetTo(cat, fr.Version); err != nil {
+		return err
+	}
+	f.store.Jump(cat, fr.Version)
+	f.quarantined = nil
+	f.fullFrames.Add(1)
+	return nil
+}
+
+// FollowerStats is a point-in-time snapshot of one follower's replication
+// counters.
+type FollowerStats struct {
+	// ID is the follower's identifier.
+	ID string
+	// Version is the applied catalog version; Known is the highest primary
+	// version announced; Lag is their distance (0 when caught up).
+	Version, Known, Lag uint64
+	// FramesApplied counts delta frames replayed; FramesSkipped counts
+	// idempotent duplicates; FullFrames counts (re)synchronizations.
+	FramesApplied, FramesSkipped, FullFrames uint64
+	// ServedReads and StaleReads count ReadCheck admissions and
+	// rejections (staleness or quarantine).
+	ServedReads, StaleReads uint64
+	// Quarantined reports a sticky divergence; Down reports that the
+	// follower's own durable store failed and it needs reopening.
+	Quarantined bool
+	// Down is set by the shipper when delivery hit the follower's
+	// durability failure; the follower serves no writes until reopened.
+	Down bool
+}
+
+// Stats snapshots the follower's counters (Down is filled in by the
+// shipper, which owns that observation).
+func (f *Follower) Stats() FollowerStats {
+	return FollowerStats{
+		ID:            f.id,
+		Version:       f.store.Version(),
+		Known:         f.known.Load(),
+		Lag:           f.Lag(),
+		FramesApplied: f.framesApplied.Load(),
+		FramesSkipped: f.framesSkipped.Load(),
+		FullFrames:    f.fullFrames.Load(),
+		ServedReads:   f.servedReads.Load(),
+		StaleReads:    f.staleReads.Load(),
+		Quarantined:   f.Quarantined() != nil,
+	}
+}

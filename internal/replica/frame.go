@@ -1,0 +1,168 @@
+// Package replica implements WAL shipping: a primary durable store streams
+// its acknowledged write-ahead-log records, re-framed with a catalog digest,
+// to follower stores that replay them into their own copy-on-write snapshot
+// catalogs and serve read-only estimation.
+//
+// # Frames
+//
+// The unit of shipping is a frame — the same length-prefixed,
+// crc32-checksummed envelope the on-disk WAL uses, wrapped around a kind
+// byte, the version number, the SHA-256 digest of the primary's full
+// catalog export at that version, and a body:
+//
+//	u32 payload length | u32 IEEE-CRC-32 of payload | payload
+//	payload = u8 kind | u64 version | 32-byte digest | body
+//
+// A delta frame (kind 1) carries the stats-JSON delta of the tables the
+// mutation changed — byte-identical to the primary's WAL record body. A
+// full frame (kind 2) carries the complete versioned catalog export, used
+// to (re)synchronize a follower that is behind, lost frames, or diverged;
+// for a full frame the digest is simply SHA-256(body).
+//
+// # The digest audit
+//
+// The digest makes every shipped version self-certifying: after replaying
+// a delta the follower exports its own catalog at that version and
+// compares digests. A mismatch is divergence — the follower's state is
+// provably not the primary's, whatever the cause — and quarantines the
+// follower behind a typed governor.ErrDiverged until it is resynchronized
+// from a full frame. See DESIGN.md §10 for why this audit, rather than
+// trust in the transport, is the replication invariant.
+//
+// # Failure taxonomy
+//
+// Decode and replay failures are typed so the shipper can choose the
+// recovery: ErrBadFrame (mangled bytes) and ErrFrameGap (missed versions)
+// are re-ship requests — NeedsResync reports them — while ErrDiverged
+// quarantines and governor.ErrDurability means the follower's own disk
+// failed (the follower is effectively down until reopened).
+package replica
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/catalog"
+)
+
+// Frame kinds.
+const (
+	// FrameDelta carries the stats-JSON delta of one mutation, exactly as
+	// the primary's WAL recorded it.
+	FrameDelta byte = 1
+	// FrameFull carries the primary's complete versioned catalog export —
+	// the (re)synchronization payload.
+	FrameFull byte = 2
+)
+
+// DigestSize is the size of the catalog digest every frame carries.
+const DigestSize = sha256.Size
+
+// frameHeaderSize is the envelope: u32 length + u32 crc.
+const frameHeaderSize = 8
+
+// payloadHeaderSize is kind + version + digest.
+const payloadHeaderSize = 1 + 8 + DigestSize
+
+// maxFrameSize bounds a frame payload; mirrors the WAL's record bound.
+const maxFrameSize = 1 << 28
+
+// ErrBadFrame reports a shipped frame that failed framing or checksum
+// verification — truncated, bit-flipped, or otherwise mangled in flight.
+// It is a re-ship request: NeedsResync returns true for it.
+var ErrBadFrame = errors.New("replica: bad shipped frame")
+
+// ErrFrameGap reports a frame whose version is ahead of the next version
+// the follower can apply — frames were lost or reordered in flight. It is
+// a re-ship request: NeedsResync returns true for it.
+var ErrFrameGap = errors.New("replica: frame gap")
+
+// Frame is one decoded shipping unit.
+type Frame struct {
+	// Kind is FrameDelta or FrameFull.
+	Kind byte
+	// Version is the catalog version the frame produces when applied.
+	Version uint64
+	// Digest is the SHA-256 of the primary's full catalog export at
+	// Version (for FrameFull, of Body itself).
+	Digest [DigestSize]byte
+	// Body is the kind-specific payload.
+	Body []byte
+}
+
+// EncodeFrame serializes f into the shipped wire format.
+func EncodeFrame(f Frame) []byte {
+	payload := make([]byte, payloadHeaderSize+len(f.Body))
+	payload[0] = f.Kind
+	binary.LittleEndian.PutUint64(payload[1:9], f.Version)
+	copy(payload[9:9+DigestSize], f.Digest[:])
+	copy(payload[payloadHeaderSize:], f.Body)
+
+	out := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[frameHeaderSize:], payload)
+	return out
+}
+
+// DecodeFrame parses one frame from the head of b. Every way the bytes can
+// be wrong — short header, impossible length, short payload, checksum
+// mismatch, unknown kind — yields an error matching ErrBadFrame; the
+// function never panics on adversarial input.
+func DecodeFrame(b []byte) (Frame, error) {
+	if len(b) < frameHeaderSize {
+		return Frame{}, fmt.Errorf("%w: %d bytes, need %d for the header", ErrBadFrame, len(b), frameHeaderSize)
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	if n > maxFrameSize {
+		return Frame{}, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrBadFrame, n, maxFrameSize)
+	}
+	if uint64(len(b)) != frameHeaderSize+uint64(n) {
+		return Frame{}, fmt.Errorf("%w: %d payload bytes on the wire, header says %d",
+			ErrBadFrame, len(b)-frameHeaderSize, n)
+	}
+	payload := b[frameHeaderSize:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(b[4:8]); got != want {
+		return Frame{}, fmt.Errorf("%w: checksum mismatch (computed %08x, framed %08x)", ErrBadFrame, got, want)
+	}
+	if len(payload) < payloadHeaderSize {
+		return Frame{}, fmt.Errorf("%w: payload %d bytes, need %d for kind+version+digest",
+			ErrBadFrame, len(payload), payloadHeaderSize)
+	}
+	f := Frame{
+		Kind:    payload[0],
+		Version: binary.LittleEndian.Uint64(payload[1:9]),
+	}
+	copy(f.Digest[:], payload[9:9+DigestSize])
+	if f.Kind != FrameDelta && f.Kind != FrameFull {
+		return Frame{}, fmt.Errorf("%w: unknown frame kind %d", ErrBadFrame, f.Kind)
+	}
+	// Copy the body out so the frame does not alias a transport buffer.
+	f.Body = append([]byte(nil), payload[payloadHeaderSize:]...)
+	return f, nil
+}
+
+// NeedsResync classifies a shipping or replay failure: true means the
+// follower's copy of this frame (or its position in the stream) is lost
+// and the shipper should re-ship — in practice, send a full frame. False
+// means re-shipping cannot help: the follower diverged (quarantine) or its
+// own durable store failed (reopen).
+func NeedsResync(err error) bool {
+	return errors.Is(err, ErrBadFrame) || errors.Is(err, ErrFrameGap)
+}
+
+// CatalogDigest computes the SHA-256 of cat's full versioned export at
+// version — the self-certifying identity every frame carries and every
+// audit compares.
+func CatalogDigest(cat *catalog.Catalog, version uint64) ([DigestSize]byte, error) {
+	h := sha256.New()
+	if err := cat.ExportVersionedJSON(h, version); err != nil {
+		return [DigestSize]byte{}, err
+	}
+	var d [DigestSize]byte
+	copy(d[:], h.Sum(nil))
+	return d, nil
+}

@@ -1,0 +1,56 @@
+package replica_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/replica"
+)
+
+// FuzzDecodeFrame pins the shipped-frame decoder's adversarial contract:
+// whatever the wire delivers — truncations, bit flips, reordered or
+// garbage bytes — DecodeFrame either returns a frame that re-encodes to
+// exactly the input (the format is canonical) or fails with a typed
+// ErrBadFrame that NeedsResync classifies as a re-ship request. It never
+// panics and never silently accepts a mangled frame, so transport
+// corruption can cost at most a resync, never divergence.
+func FuzzDecodeFrame(f *testing.F) {
+	valid := replica.EncodeFrame(replica.Frame{
+		Kind:    replica.FrameDelta,
+		Version: 42,
+		Digest:  [replica.DigestSize]byte{1, 2, 3, 4},
+		Body:    []byte(`{"tables":{"t":{"card":7}}}`),
+	})
+	full := replica.EncodeFrame(replica.Frame{Kind: replica.FrameFull, Version: 9})
+	f.Add(valid)
+	f.Add(full)
+	f.Add([]byte{})
+	f.Add(valid[:4])
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(append([]byte(nil), valid...), valid...)) // reordered/concatenated
+	for i := 0; i < len(valid); i += 7 {                   // seeded bit flips
+		flipped := append([]byte(nil), valid...)
+		flipped[i] ^= 1 << (i % 8)
+		f.Add(flipped)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := replica.DecodeFrame(data)
+		if err != nil {
+			if !errors.Is(err, replica.ErrBadFrame) {
+				t.Fatalf("decode failure outside the taxonomy: %v", err)
+			}
+			if !replica.NeedsResync(err) {
+				t.Fatalf("decode failure is not a re-ship request: %v", err)
+			}
+			return
+		}
+		if fr.Kind != replica.FrameDelta && fr.Kind != replica.FrameFull {
+			t.Fatalf("decoder accepted unknown kind %d", fr.Kind)
+		}
+		if !bytes.Equal(replica.EncodeFrame(fr), data) {
+			t.Fatalf("accepted frame is not canonical: re-encoding differs from the wire bytes")
+		}
+	})
+}

@@ -117,6 +117,20 @@ func (st *Store) Mutate(fn func(*catalog.Catalog) error) error {
 	return nil
 }
 
+// Jump publishes cat at an explicit version, outside the normal +1 chain —
+// the replica full-resync path: a follower that lost frames (or diverged)
+// is handed the primary's complete catalog at the primary's version and
+// must land exactly there, skipping the versions it never saw. The
+// Durability hook is NOT consulted; the caller is responsible for having
+// persisted cat at version independently (internal/durable.ResetTo does).
+// cat must be treated as immutable from here on, like any published
+// catalog.
+func (st *Store) Jump(cat *catalog.Catalog, version uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.cur.Store(&Snapshot{version: version, cat: cat})
+}
+
 // Locked runs fn on the current snapshot while holding the writer lock, so
 // no version can be published during fn. Checkpointing uses it to capture
 // a (catalog, version) pair that is guaranteed still-current when the

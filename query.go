@@ -62,6 +62,15 @@ type Estimate struct {
 	// published version, even if the catalog was mutated while the query
 	// ran.
 	CatalogVersion uint64
+	// Replica reports that the estimate was served by a read replica
+	// (els.OpenReplica) rather than the primary.
+	Replica bool
+	// ReplicaLag is how many catalog versions the replica's pinned
+	// snapshot trailed the primary's last acknowledged version when the
+	// result was produced; 0 on a primary or a fully caught-up replica.
+	// Reads lagging past Limits.MaxReplicaLag never produce a result at
+	// all — they fail with ErrStaleReplica.
+	ReplicaLag uint64
 }
 
 // NodeStat compares one plan node's estimated and actual output
@@ -328,6 +337,9 @@ func (s *System) ExplainContext(ctx context.Context, sql string, algo Algorithm)
 func formatExplain(est *Estimate) string {
 	out := fmt.Sprintf("algorithm: %s\n", est.Algorithm)
 	out += fmt.Sprintf("catalog version: %d\n", est.CatalogVersion)
+	if est.Replica {
+		out += fmt.Sprintf("replica lag: %d\n", est.ReplicaLag)
+	}
 	for _, w := range est.Warnings {
 		out += "warning: " + w + "\n"
 	}

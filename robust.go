@@ -30,9 +30,17 @@ import (
 // durable, nothing was published, and the catalog is frozen against
 // further writes until the directory is reopened.
 //
+// Reads on a replica (els.OpenReplica) can additionally fail with
+// ErrStaleReplica — the replica trails the primary past
+// Limits.MaxReplicaLag; retry or fail over to the primary — or
+// ErrDiverged — the replica failed its catalog digest audit and is
+// quarantined until re-attached and resynchronized.
+//
 // errors.As exposes the structured details: *els.BudgetError names the
 // exhausted resource and its limit; *els.InternalError carries the panic
-// value and stack; *els.OverloadError names why admission shed the query.
+// value and stack; *els.OverloadError names why admission shed the query;
+// *els.StaleReplicaError carries the observed lag and bound;
+// *els.DivergenceError carries the digests that disagreed.
 var (
 	ErrCanceled       = governor.ErrCanceled
 	ErrBudgetExceeded = governor.ErrBudgetExceeded
@@ -42,6 +50,8 @@ var (
 	ErrOverloaded     = governor.ErrOverloaded
 	ErrClosed         = governor.ErrClosed
 	ErrDurability     = governor.ErrDurability
+	ErrStaleReplica   = governor.ErrStaleReplica
+	ErrDiverged       = governor.ErrDiverged
 )
 
 // Limits configures per-query resource budgets, the intra-query
@@ -60,6 +70,14 @@ type InternalError = governor.InternalError
 // OverloadError details why admission control shed a query: the queue was
 // full, the queue deadline elapsed, or the circuit breaker is open.
 type OverloadError = governor.OverloadError
+
+// StaleReplicaError details a read rejected on a lagging replica: which
+// replica, how far behind it was, and the MaxReplicaLag bound in force.
+type StaleReplicaError = governor.StaleReplicaError
+
+// DivergenceError details a failed replica digest audit: which replica,
+// at which catalog version, and the hex SHA-256 digests that disagreed.
+type DivergenceError = governor.DivergenceError
 
 // SetLimits installs default resource limits applied to every subsequent
 // query on this system (each call gets a fresh budget), and reconfigures

@@ -127,6 +127,14 @@ func (s *System) RobustnessStats() RobustnessStats {
 // when the drain deadline was hit, nil on a fully graceful drain.
 func (s *System) Close(ctx context.Context) error {
 	err := s.adm.Close(ctx)
+	s.shipMu.Lock()
+	sh := s.shipper
+	s.shipMu.Unlock()
+	if sh != nil {
+		// Stop shipping before the WAL closes: link workers drain and
+		// exit; followers keep serving at whatever version they reached.
+		sh.Close()
+	}
 	if s.dur != nil {
 		if derr := s.dur.Close(); derr != nil && err == nil {
 			err = derr
@@ -172,7 +180,10 @@ func (s *System) attempts(slot *admission.Slot, fn func(gov *governor.Governor, 
 	snap := s.store.Current()
 	policy := s.retryPolicy()
 	for attempt := 1; ; attempt++ {
-		err := s.attempt(slot.Context(), slot.Waited(), snap, fn)
+		err := s.replicaGate(&snap)
+		if err == nil {
+			err = s.attempt(slot.Context(), slot.Waited(), snap, fn)
+		}
 		if err == nil {
 			if attempt > 1 {
 				s.retrySuccesses.Add(1)
@@ -203,11 +214,31 @@ func (s *System) attempt(ctx context.Context, queueWait time.Duration, snap *sna
 	return fn(gov, snap)
 }
 
-// retryable reports whether the retry policy may fire on err: only
-// internal errors are transient. ErrParse, ErrBadStats, ErrCanceled,
-// ErrBudgetExceeded, ErrOverloaded, and ErrClosed never retry.
+// replicaGate enforces the replica staleness contract on the inner system
+// of an els.Replica (a no-op everywhere else, including after promotion):
+// a quarantined replica rejects the attempt with its divergence error, a
+// replica lagging past Limits.MaxReplicaLag rejects with ErrStaleReplica,
+// and an admitted attempt re-pins the freshest replayed snapshot — so a
+// retry after a stale rejection serves the version the replica caught up
+// to, not the one it was behind at.
+func (s *System) replicaGate(snap **snapshot.Snapshot) error {
+	if s.fol == nil || s.promoted.Load() {
+		return nil
+	}
+	if _, err := s.fol.ReadCheck(s.Limits().MaxReplicaLag); err != nil {
+		return err
+	}
+	*snap = s.store.Current()
+	return nil
+}
+
+// retryable reports whether the retry policy may fire on err: internal
+// errors (transient by definition) and stale-replica rejections (replicas
+// catch up; each retry re-pins the freshest replayed version). ErrParse,
+// ErrBadStats, ErrCanceled, ErrBudgetExceeded, ErrOverloaded, ErrClosed,
+// and ErrDiverged (sticky until resync) never retry.
 func retryable(err error) bool {
-	return errors.Is(err, ErrInternal)
+	return errors.Is(err, ErrInternal) || errors.Is(err, ErrStaleReplica)
 }
 
 // backoff sleeps the capped, jittered exponential delay before retry
