@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	elsbench [-experiment all|section8|examples|chain|zipf|urn|random]
+//	elsbench [-experiment all|section8|examples|chain|zipf|urn|random|repeated]
 //	         [-scale N] [-seed N] [-estimates-only] [-workers N]
 //	         [-json BENCH_results.json]
 //
@@ -12,7 +12,9 @@
 // the intra-query parallelism of the executed experiments (0 = GOMAXPROCS;
 // results and work counters are worker-invariant). -json additionally writes
 // a machine-readable report with per-experiment wall time, tuples scanned and
-// worker count.
+// worker count, plus columnar_speedup (columnar vs row-at-a-time execution
+// time on section8) and cache_hit_rate (the plan cache's hit rate on the
+// "repeated" Zipf-skewed statement workload).
 //
 // -max-concurrent and -queue-timeout route the run through the library's
 // admission controller (the layer serving systems use to shed load), so a
@@ -41,18 +43,20 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	els "repro"
 	"repro/internal/admission"
 	"repro/internal/experiment"
 	"repro/internal/governor"
+	"repro/internal/querygen"
 	"repro/internal/workpool"
 )
 
 func main() {
 	var (
-		which         = flag.String("experiment", "all", "experiment to run: all, section8, examples, indexed, chain, zipf, urn, sampled, independence, random")
+		which         = flag.String("experiment", "all", "experiments to run (comma-separated): all, section8, examples, indexed, chain, zipf, urn, sampled, independence, random, repeated")
 		scale         = flag.Int("scale", 1, "divide the Section 8 table sizes by this factor")
 		seed          = flag.Int64("seed", 42, "random seed for data generation")
 		estimates     = flag.Bool("estimates-only", false, "skip data generation and execution (Section 8)")
@@ -171,6 +175,25 @@ func run(w io.Writer, which string, scale int, seed int64, estimatesOnly bool, w
 			for _, row := range res.Rows {
 				fmt.Fprintf(w, "--- %s / %s plan:\n%s\n", row.Query, row.Algorithm, row.Plan)
 			}
+			if !estimatesOnly {
+				// Re-run with the columnar engine disabled and compare the
+				// summed per-query execution times (planning and data
+				// generation excluded). The differential harness pins that
+				// counts are engine-invariant, so this ratio is a pure
+				// engine-speed measurement.
+				rowRes, err := experiment.RunSection8(experiment.Section8Options{
+					Scale: scale, Seed: seed, Workers: workers, DisableColumnar: true,
+				})
+				if err != nil {
+					return 0, 0, err
+				}
+				colMs, rowMs := experiment.SumExecMillis(res), experiment.SumExecMillis(rowRes)
+				if colMs > 0 {
+					report.ColumnarSpeedup = rowMs / colMs
+					fmt.Fprintf(w, "columnar engine: %.3f ms vs row-at-a-time %.3f ms — %.2fx speedup\n\n",
+						colMs, rowMs, report.ColumnarSpeedup)
+				}
+			}
 			return experiment.SumTuplesScanned(res), resolveWorkers(workers), nil
 		}},
 		{"indexed", func() (int64, int, error) {
@@ -244,13 +267,32 @@ func run(w io.Writer, which string, scale int, seed int64, estimatesOnly bool, w
 			fmt.Fprintln(w)
 			return 0, 1, nil
 		}},
+		{"repeated", func() (int64, int, error) {
+			if err := runRepeated(w, seed, report); err != nil {
+				return 0, 1, err
+			}
+			return 0, 1, nil
+		}},
 	}
-	ran := false
+	// -experiment accepts a comma-separated list ("section8,repeated"), so
+	// one invocation can land several measurements in a single report.
+	all := false
+	want := make(map[string]bool)
+	for _, name := range strings.Split(which, ",") {
+		if name = strings.TrimSpace(name); name == "all" {
+			all = true
+		} else if name != "" {
+			want[name] = true
+		}
+	}
+	if !all && len(want) == 0 {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
 	for _, step := range steps {
-		if which != "all" && which != step.name {
+		if !all && !want[step.name] {
 			continue
 		}
-		ran = true
+		delete(want, step.name)
 		start := time.Now()
 		tuples, usedWorkers, err := step.fn()
 		if err != nil {
@@ -263,9 +305,52 @@ func run(w io.Writer, which string, scale int, seed int64, estimatesOnly bool, w
 			TuplesScanned: tuples,
 		})
 	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", which)
+	for name := range want {
+		return fmt.Errorf("unknown experiment %q", name)
 	}
+	return nil
+}
+
+// runRepeated drives the plan cache with the shape of a dashboard or
+// reporting workload: a fixed pool of generated statements re-issued on a
+// Zipf-skewed schedule through the full serving stack (parse, bind, plan
+// cache, estimate). The resulting hit rate lands in the report as
+// cache_hit_rate; with a pool much smaller than the issue count it should
+// clear 0.9 comfortably.
+func runRepeated(w io.Writer, seed int64, report *experiment.BenchReport) error {
+	const (
+		poolSize = 25
+		issues   = 500
+		skew     = 1.5
+	)
+	sys := els.New()
+	pool := make([]string, poolSize)
+	for i := range pool {
+		q := querygen.GenerateNamed(seed+int64(i), fmt.Sprintf("W%dT", i))
+		for _, spec := range q.Specs {
+			distinct := make(map[string]float64, len(spec.Columns))
+			for _, col := range spec.Columns {
+				d := float64(col.Domain)
+				if rows := float64(spec.Rows); d > rows {
+					d = rows
+				}
+				distinct[col.Name] = d
+			}
+			if err := sys.DeclareStats(spec.Name, float64(spec.Rows), distinct); err != nil {
+				return err
+			}
+		}
+		pool[i] = q.SQL()
+	}
+	for _, idx := range querygen.RepeatSchedule(seed, poolSize, issues, skew) {
+		if _, err := sys.Estimate(pool[idx], els.AlgorithmELS); err != nil {
+			return fmt.Errorf("repeated workload %q: %w", pool[idx], err)
+		}
+	}
+	st := sys.CacheStats()
+	report.CacheHitRate = st.HitRate()
+	fmt.Fprintf(w, "repeated workload: %d issues over %d distinct statements (zipf %g): %d hits, %d misses — hit rate %.3f\n\n",
+		issues, poolSize, skew, st.Hits, st.Misses, report.CacheHitRate)
 	return nil
 }
 

@@ -87,10 +87,65 @@ func TestRunLargeAblations(t *testing.T) {
 	}
 }
 
+// The repeated-query workload must clear the acceptance bar: a Zipf-skewed
+// re-issue schedule over a small statement pool is served ≥ 90% from the
+// plan cache, and the rate lands in the bench report as cache_hit_rate.
+func TestRunRepeatedWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	report := &experiment.BenchReport{}
+	if err := run(&buf, "repeated", 1, 42, false, 0, report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hit rate") {
+		t.Errorf("repeated output missing the hit rate line:\n%s", buf.String())
+	}
+	if report.CacheHitRate < 0.9 {
+		t.Errorf("cache_hit_rate = %.3f, want >= 0.9:\n%s", report.CacheHitRate, buf.String())
+	}
+}
+
+// The section8 step measures the columnar engine against the row engine and
+// records the speedup ratio.
+func TestRunSection8ColumnarSpeedup(t *testing.T) {
+	var buf bytes.Buffer
+	report := &experiment.BenchReport{}
+	if err := run(&buf, "section8", 100, 42, false, 0, report); err != nil {
+		t.Fatal(err)
+	}
+	if report.ColumnarSpeedup <= 0 {
+		t.Errorf("columnar_speedup = %g, want > 0", report.ColumnarSpeedup)
+	}
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Errorf("section8 output missing the speedup line:\n%s", buf.String())
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := runFor(&buf, "nope", 1, 1, false); err == nil {
 		t.Error("unknown experiment should error")
+	}
+	if err := runFor(&buf, "", 1, 1, false); err == nil {
+		t.Error("empty experiment list should error")
+	}
+	if err := runFor(&buf, "examples,nope", 1, 1, false); err == nil {
+		t.Error("unknown name in a comma-separated list should error")
+	}
+}
+
+// A comma-separated -experiment list runs each named step once and records
+// one bench result per step.
+func TestRunExperimentList(t *testing.T) {
+	var buf bytes.Buffer
+	report := &experiment.BenchReport{}
+	if err := run(&buf, "examples,repeated", 1, 42, false, 0, report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("results = %d, want 2: %+v", len(report.Results), report.Results)
+	}
+	if report.Results[0].Experiment != "examples" || report.Results[1].Experiment != "repeated" {
+		t.Errorf("steps ran as %+v, want examples then repeated", report.Results)
 	}
 }
 

@@ -40,6 +40,7 @@ func Open(dir string) (*System, error) {
 		dur:     d,
 	}
 	s.store.SetDurability(d)
+	s.initCache()
 	return s, nil
 }
 

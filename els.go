@@ -40,6 +40,7 @@ import (
 	"repro/internal/csvload"
 	"repro/internal/datagen"
 	"repro/internal/durable"
+	"repro/internal/plancache"
 	"repro/internal/replica"
 	"repro/internal/selest"
 	"repro/internal/snapshot"
@@ -149,6 +150,7 @@ type System struct {
 	adm     *admission.Controller // concurrency gate + drain
 	breaker *admission.Breaker    // consecutive-internal-error circuit breaker
 	dur     *durable.Store        // WAL + checkpoints; nil for in-memory systems (New)
+	cache   *plancache.Cache      // version-keyed plan/estimate cache
 
 	// Replication. On a primary, shipper streams acknowledged WAL records
 	// to attached replicas (created lazily by AttachReplica). On the inner
@@ -172,11 +174,25 @@ type System struct {
 
 // New creates an empty system.
 func New() *System {
-	return &System{
+	s := &System{
 		store:   snapshot.NewStore(catalog.New()),
 		adm:     admission.New(admission.Config{}),
 		breaker: admission.NewBreaker(admission.BreakerConfig{}),
 	}
+	s.initCache()
+	return s
+}
+
+// initCache installs the plan/estimate cache and hangs its eager
+// invalidation off every snapshot publication — local mutations, replica
+// replay, and post-recovery writes alike. Correctness does not depend on
+// this hook: the catalog version is part of every cache key, so an entry
+// can never be served against a catalog it was not planned on (see
+// internal/plancache); the hook just reclaims space for retired versions
+// immediately.
+func (s *System) initCache() {
+	s.cache = plancache.New(0)
+	s.store.SetOnPublish(func(v uint64) { s.cache.Invalidate(v) })
 }
 
 // catalogNow returns the latest published catalog for metadata accessors.

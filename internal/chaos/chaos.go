@@ -76,6 +76,11 @@ type Report struct {
 	Violations []string
 	// Stats is the system's serving-layer counters after Close.
 	Stats els.RobustnessStats
+	// Cache is the plan-cache counters after Close. The torn-read audit
+	// doubles as the cache's version-pinning contract: a hit that served a
+	// plan or estimate from any version other than the estimate's pinned
+	// CatalogVersion would surface as a torn read.
+	Cache els.CacheStats
 }
 
 // Failed reports whether the storm breached any contract.
@@ -395,6 +400,7 @@ func (h *harness) report() *Report {
 		Observations:      len(h.observations),
 		Violations:        h.violations,
 		Stats:             h.sys.RobustnessStats(),
+		Cache:             h.sys.CacheStats(),
 	}
 }
 

@@ -94,6 +94,7 @@ type Executor struct {
 	cat     *catalog.Catalog
 	gov     *governor.Governor
 	workers int
+	rowOnly bool // SetColumnar(false): force the row-at-a-time engine
 }
 
 // New creates an executor over the catalog's registered data tables.
@@ -259,8 +260,18 @@ func (e *Executor) runScan(s *optimizer.Scan, stats *Stats) (*storage.Table, err
 // scanRange filters base rows [start, end) into out, charging the visit
 // and row budgets. It is the shared body of the serial scan and of one
 // parallel scan chunk (then out and stats are chunk-local, the governor
-// shared).
+// shared). It dispatches to the vectorized or the row-at-a-time body;
+// both produce identical rows, counters, and governor charges.
 func (e *Executor) scanRange(base *storage.Table, start, end int, filter compiled,
+	orFilter []compiledDisj, out *storage.Table, stats *Stats) error {
+	if e.useColumnar() {
+		return e.scanRangeColumnar(base, start, end, filter, orFilter, out, stats)
+	}
+	return e.scanRangeRows(base, start, end, filter, orFilter, out, stats)
+}
+
+// scanRangeRows is the row-at-a-time scan body.
+func (e *Executor) scanRangeRows(base *storage.Table, start, end int, filter compiled,
 	orFilter []compiledDisj, out *storage.Table, stats *Stats) error {
 	buf := make([]storage.Value, 0, out.Schema().NumColumns())
 	for r := start; r < end; r++ {
@@ -629,6 +640,11 @@ func (e *Executor) hashJoin(j *optimizer.Join, left, right *storage.Table, stats
 	residual, err := compileAll(residuals, outSchema)
 	if err != nil {
 		return nil, err
+	}
+	if e.useColumnar() {
+		if out, ok, cerr := e.columnarHashJoin(left, right, lKey, rKey, residual, outSchema, stats); ok {
+			return out, cerr
+		}
 	}
 	workers := e.resolveWorkers()
 	if workers > 1 && (len(chunkRanges(right.NumRows(), workers)) > 1 ||

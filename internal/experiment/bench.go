@@ -51,6 +51,14 @@ type BenchReport struct {
 	// ReplicaReadsPerSec is the aggregate estimate throughput of the
 	// caught-up follower fleet.
 	ReplicaReadsPerSec float64 `json:"replica_reads_per_sec"`
+	// CacheHitRate is the plan-cache hit rate of the repeated-query
+	// workload (the "repeated" experiment): hits / (hits + misses) over a
+	// Zipf-skewed re-issue schedule. 0 when the run did not include it.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// ColumnarSpeedup is the row-engine / columnar-engine ratio of summed
+	// per-query execution time on the Section 8 experiment (> 1 means the
+	// columnar engine is faster). 0 when the run skipped execution.
+	ColumnarSpeedup float64 `json:"columnar_speedup"`
 }
 
 // SumTuplesScanned totals the executor work across a Section 8 table's rows.
@@ -58,6 +66,17 @@ func SumTuplesScanned(res *Section8Result) int64 {
 	var total int64
 	for _, row := range res.Rows {
 		total += row.Stats.TuplesScanned
+	}
+	return total
+}
+
+// SumExecMillis totals the pure execution wall time across a Section 8
+// table's rows — planning and data generation excluded — which is the
+// quantity the columnar-vs-row speedup compares.
+func SumExecMillis(res *Section8Result) float64 {
+	var total float64
+	for _, row := range res.Rows {
+		total += float64(row.Stats.Elapsed.Microseconds()) / 1000
 	}
 	return total
 }

@@ -1,0 +1,101 @@
+package plancache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqlparse"
+)
+
+// Canonical renders a bound query as the cache key's normalized text. Two
+// query texts map to the same canonical string exactly when they are the
+// same query up to formatting: whitespace and keyword case (erased by the
+// parser), table/alias/column case (erased by lower-casing, matching the
+// binder's case-insensitive resolution), and the order of WHERE
+// conjuncts and of disjuncts within an OR-group (erased by sorting —
+// conjunction and disjunction are commutative, so the same rows qualify;
+// only the non-semantic comparison counters can differ between orderings).
+//
+// Everything that changes meaning stays distinguishing: constants render
+// type-tagged (Value.Key), so x = 1 and x = '1' never collide; the FROM
+// list keeps its order (join-order tie-breaking and SELECT * column order
+// depend on it); the select list, GROUP BY, and aggregate shapes keep
+// their order. Every component is length-prefixed, so no string constant
+// can forge a separator and alias two different queries onto one key.
+//
+// Canonical must be called on a bound query: binding qualifies every
+// column with its table, which is what makes the rendering unambiguous.
+// Binding consults the catalog, but the cache key pairs the canonical
+// text with the catalog version, so a text that binds differently under
+// two catalogs simply occupies two cache slots.
+func Canonical(q *sqlparse.Query) string {
+	var b strings.Builder
+	var sel []string
+	switch {
+	case len(q.Select) > 0:
+		for _, it := range q.Select {
+			target := "*"
+			if !it.Star {
+				target = it.Col.Key()
+			}
+			sel = append(sel, fmt.Sprintf("a%d(%s)", it.Agg, target))
+		}
+	case q.CountStar:
+		sel = []string{"count(*)"}
+	case q.Star:
+		sel = []string{"*"}
+	default:
+		for _, c := range q.Projection {
+			sel = append(sel, c.Key())
+		}
+	}
+	section(&b, "s", sel)
+
+	group := make([]string, 0, len(q.GroupBy))
+	for _, c := range q.GroupBy {
+		group = append(group, c.Key())
+	}
+	section(&b, "g", group)
+
+	from := make([]string, 0, len(q.Tables))
+	for _, t := range q.Tables {
+		name := strings.ToLower(t.Name())
+		from = append(from, fmt.Sprintf("%d:%s=%s", len(name), name, strings.ToLower(t.Table)))
+	}
+	section(&b, "f", from)
+
+	where := make([]string, 0, len(q.Where))
+	for _, p := range q.Where {
+		where = append(where, p.CanonicalKey())
+	}
+	sort.Strings(where)
+	section(&b, "w", where)
+
+	ors := make([]string, 0, len(q.Disjunctions))
+	for _, d := range q.Disjunctions {
+		ks := make([]string, 0, len(d.Preds))
+		for _, p := range d.Preds {
+			ks = append(ks, p.CanonicalKey())
+		}
+		sort.Strings(ks)
+		var g strings.Builder
+		for _, k := range ks {
+			fmt.Fprintf(&g, "%d:%s", len(k), k)
+		}
+		ors = append(ors, g.String())
+	}
+	sort.Strings(ors)
+	section(&b, "o", ors)
+	return b.String()
+}
+
+// section appends one named, length-prefixed component list.
+func section(b *strings.Builder, name string, items []string) {
+	b.WriteString(name)
+	b.WriteByte(':')
+	for _, it := range items {
+		fmt.Fprintf(b, "%d:%s", len(it), it)
+	}
+	b.WriteByte('\n')
+}

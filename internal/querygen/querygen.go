@@ -11,6 +11,7 @@ package querygen
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/cardest"
 	"repro/internal/datagen"
@@ -36,6 +37,31 @@ type Query struct {
 	Methods []optimizer.JoinMethod
 }
 
+// SQL renders the query as the COUNT(*) statement the public System API
+// accepts, so generated queries can be driven through the whole serving
+// stack (parse, bind, plan cache, execute) and not just the bare executor.
+// Constants are int64-only by construction, so Value.String renders valid
+// SQL literals.
+func (q Query) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT COUNT(*) FROM ")
+	for i, t := range q.Tables {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Table)
+	}
+	for i, p := range q.Preds {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(p.String())
+	}
+	return b.String()
+}
+
 // String renders a compact description for failure messages.
 func (q Query) String() string {
 	s := fmt.Sprintf("%d tables, methods %v, %d preds:", len(q.Specs), q.Methods, len(q.Preds))
@@ -49,12 +75,17 @@ func (q Query) String() string {
 // rows, straddling the executor's parallel-chunk threshold so both the
 // serial and the chunked code paths are exercised across seeds; join
 // columns get small domains so joins actually match rows.
-func Generate(seed int64) Query {
+func Generate(seed int64) Query { return GenerateNamed(seed, "Q") }
+
+// GenerateNamed is Generate with a caller-chosen table-name prefix, so
+// several generated queries' tables can coexist in one catalog (the
+// repeated-workload harness loads a whole pool of them into one System).
+func GenerateNamed(seed int64, prefix string) Query {
 	rng := rand.New(rand.NewSource(seed))
 	n := 1 + rng.Intn(3) // 1..3 tables
 
 	q := Query{DataSeed: seed*7919 + 1}
-	ref := func(i int) string { return fmt.Sprintf("Q%d", i) }
+	ref := func(i int) string { return fmt.Sprintf("%s%d", prefix, i) }
 	for i := 0; i < n; i++ {
 		rows := 64 + rng.Intn(257) // 64..320
 		kDomain := 4 + rng.Intn(13)

@@ -1,0 +1,32 @@
+package querygen
+
+import "math/rand"
+
+// RepeatSchedule returns a deterministic sequence of n indexes into a pool
+// of `pool` distinct queries, Zipf-skewed so a handful of queries dominate
+// the traffic — the shape of a dashboard or reporting workload that
+// re-issues the same statements over and over. It is the driver for the
+// plan cache's repeated-query benchmark: with skew ≈ 1.5 and a pool much
+// smaller than n, well over 90% of issues are re-issues and should be
+// served from cache.
+//
+// skew is the Zipf s parameter and must be > 1 for skew to apply; values
+// ≤ 1 fall back to 1.5. Everything is deterministic in seed.
+func RepeatSchedule(seed int64, pool, n int, skew float64) []int {
+	if pool <= 0 || n <= 0 {
+		return nil
+	}
+	if skew <= 1 {
+		skew = 1.5
+	}
+	out := make([]int, n)
+	if pool == 1 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, skew, 1, uint64(pool-1))
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}

@@ -124,13 +124,16 @@ func (p *Processor) help() error {
   algos                                     list algorithms
   limits [timeout=D] [tuples=N] [rows=N] [plans=N] [workers=N]
          [max-concurrent=N] [max-queue=N] [queue-timeout=D]
-         [max-replica-lag=N]
+         [max-replica-lag=N] [columnar=on|off] [cache=on|off]
+         [plan-cache-size=N]
                                             set per-query budgets, parallelism,
-                                            admission control, and replica
-                                            staleness ("limits off" clears)
+                                            admission control, replica staleness,
+                                            and the columnar/plan-cache engine
+                                            switches ("limits off" clears)
   serving                                   show serving-layer counters
                                             (catalog version, admission, retries,
-                                            circuit breaker, durability)
+                                            circuit breaker, plan cache,
+                                            durability)
   checkpoint                                compact the WAL into an atomic
                                             checkpoint (durable sessions)
   recover [dir]                             reopen the durable catalog, replaying
@@ -167,14 +170,22 @@ func (p *Processor) setAlgo(args []string) error {
 	return nil
 }
 
-const limitsUsage = "usage: limits [timeout=D] [tuples=N] [rows=N] [plans=N] [workers=N] [max-concurrent=N] [max-queue=N] [queue-timeout=D] [max-replica-lag=N] | limits off"
+const limitsUsage = "usage: limits [timeout=D] [tuples=N] [rows=N] [plans=N] [workers=N] [max-concurrent=N] [max-queue=N] [queue-timeout=D] [max-replica-lag=N] [columnar=on|off] [cache=on|off] [plan-cache-size=N] | limits off"
 
 // formatLimits renders one line of the full limit set, budgets and
 // admission control alike.
 func formatLimits(l els.Limits) string {
-	return fmt.Sprintf("timeout=%s tuples=%d rows=%d plans=%d workers=%d max-concurrent=%d max-queue=%d queue-timeout=%s max-replica-lag=%d",
+	return fmt.Sprintf("timeout=%s tuples=%d rows=%d plans=%d workers=%d max-concurrent=%d max-queue=%d queue-timeout=%s max-replica-lag=%d columnar=%s cache=%s plan-cache-size=%d",
 		l.Timeout, l.MaxTuples, l.MaxRows, l.MaxPlans, l.Workers,
-		l.MaxConcurrent, l.MaxQueue, l.QueueTimeout, l.MaxReplicaLag)
+		l.MaxConcurrent, l.MaxQueue, l.QueueTimeout, l.MaxReplicaLag,
+		onOff(!l.DisableColumnar), onOff(!l.DisableCache), l.PlanCacheSize)
+}
+
+func onOff(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
 }
 
 // limits shows or updates the system's per-query resource budgets and
@@ -183,7 +194,8 @@ func formatLimits(l els.Limits) string {
 func (p *Processor) limits(args []string) error {
 	if len(args) == 0 {
 		l := p.sys.Limits()
-		if !l.Enforced() && !l.Admission() && l.Workers == 0 && l.MaxQueue == 0 && l.QueueTimeout == 0 && l.MaxReplicaLag == 0 {
+		if !l.Enforced() && !l.Admission() && l.Workers == 0 && l.MaxQueue == 0 && l.QueueTimeout == 0 && l.MaxReplicaLag == 0 &&
+			!l.DisableColumnar && !l.DisableCache && l.PlanCacheSize == 0 {
 			p.printf("no limits\n")
 			return nil
 		}
@@ -219,7 +231,23 @@ func (p *Processor) limits(args []string) error {
 			} else {
 				l.QueueTimeout = d
 			}
-		case "tuples", "rows", "plans", "workers", "max-concurrent", "max-queue", "max-replica-lag":
+		case "columnar", "cache":
+			var on bool
+			switch strings.ToLower(parts[1]) {
+			case "on":
+				on = true
+			case "off":
+				on = false
+			default:
+				p.printf("bad %s %q (want on or off)\n%s\n", key, parts[1], limitsUsage)
+				return nil
+			}
+			if key == "columnar" {
+				l.DisableColumnar = !on
+			} else {
+				l.DisableCache = !on
+			}
+		case "tuples", "rows", "plans", "workers", "max-concurrent", "max-queue", "max-replica-lag", "plan-cache-size":
 			n, err := strconv.ParseInt(parts[1], 10, 64)
 			if err != nil {
 				p.printf("bad %s limit %q\n%s\n", key, parts[1], limitsUsage)
@@ -244,9 +272,11 @@ func (p *Processor) limits(args []string) error {
 				l.MaxQueue = int(n)
 			case "max-replica-lag":
 				l.MaxReplicaLag = int(n)
+			case "plan-cache-size":
+				l.PlanCacheSize = int(n)
 			}
 		default:
-			p.printf("unknown limit %q (want timeout, tuples, rows, plans, workers, max-concurrent, max-queue, queue-timeout, max-replica-lag)\n", parts[0])
+			p.printf("unknown limit %q (want timeout, tuples, rows, plans, workers, max-concurrent, max-queue, queue-timeout, max-replica-lag, columnar, cache, plan-cache-size)\n", parts[0])
 			return nil
 		}
 	}
@@ -271,6 +301,9 @@ func (p *Processor) serving() error {
 	p.printf("retries=%d retry-successes=%d\n", st.Retries, st.RetrySuccesses)
 	p.printf("breaker=%s opens=%d rejections=%d probes=%d\n",
 		st.BreakerState, st.BreakerOpens, st.BreakerRejections, st.BreakerProbes)
+	c := p.sys.CacheStats()
+	p.printf("plan-cache: hits=%d misses=%d hit-rate=%.3f entries=%d/%d evictions=%d invalidations=%d\n",
+		c.Hits, c.Misses, c.HitRate(), c.Entries, c.Capacity, c.Evictions, c.Invalidations)
 	if p.sys.Durable() {
 		d := p.sys.DurabilityStats()
 		frozen := ""

@@ -323,6 +323,40 @@ func TestServingNoDurableLine(t *testing.T) {
 	}
 }
 
+// The serving line surfaces plan-cache counters, and the cache/columnar
+// limits verbs flip the engine switches.
+func TestServingPlanCacheAndLimitsVerbs(t *testing.T) {
+	out := runLines(t,
+		"declare R 1000 x=100",
+		"estimate SELECT COUNT(*) FROM R",
+		"estimate SELECT COUNT(*) FROM R",
+		"serving",
+	)
+	if !strings.Contains(out, "plan-cache: hits=1 misses=1") {
+		t.Errorf("serving output misses plan-cache counters:\n%s", out)
+	}
+
+	out = runLines(t, "limits columnar=off cache=off plan-cache-size=7", "limits")
+	if !strings.Contains(out, "columnar=off cache=off plan-cache-size=7") {
+		t.Errorf("limits verbs did not round-trip:\n%s", out)
+	}
+	out = runLines(t, "limits cache=maybe")
+	if !strings.Contains(out, "want on or off") {
+		t.Errorf("bad cache value not rejected:\n%s", out)
+	}
+	// With the cache off, repeats stay cold.
+	out = runLines(t,
+		"declare R 1000 x=100",
+		"limits cache=off",
+		"estimate SELECT COUNT(*) FROM R",
+		"estimate SELECT COUNT(*) FROM R",
+		"serving",
+	)
+	if !strings.Contains(out, "plan-cache: hits=0 misses=0") {
+		t.Errorf("disabled cache was still consulted:\n%s", out)
+	}
+}
+
 // A durable session attaches a read replica, ships its declarations,
 // reports per-replica status, and fails over with "replica promote": the
 // promoted replica becomes the writable session catalog.

@@ -52,9 +52,10 @@ type Durability interface {
 // Current is wait-free (one atomic load), so pinning a version at query
 // admission costs nothing even under heavy mutation traffic.
 type Store struct {
-	mu  sync.Mutex // serializes Mutate; guards dur
-	dur Durability
-	cur atomic.Pointer[Snapshot]
+	mu        sync.Mutex // serializes Mutate; guards dur, onPublish
+	dur       Durability
+	onPublish func(version uint64)
+	cur       atomic.Pointer[Snapshot]
 }
 
 // NewStore starts a store at version 1 holding cat.
@@ -82,6 +83,19 @@ func (st *Store) SetDurability(d Durability) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.dur = d
+}
+
+// SetOnPublish installs (or with nil removes) a callback invoked with the
+// new version number after every publication — Mutate's +1 chain and Jump's
+// replica resync alike — while the writer lock is still held, so callbacks
+// observe publications in version order. The plan cache hangs its
+// invalidation here: any published bump, from a local mutation, replication
+// replay, or a post-recovery mutation, retires every cached plan keyed to
+// an older version. The callback must not call back into the store.
+func (st *Store) SetOnPublish(fn func(version uint64)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.onPublish = fn
 }
 
 // Current returns the latest published snapshot.
@@ -114,6 +128,9 @@ func (st *Store) Mutate(fn func(*catalog.Catalog) error) error {
 		}
 	}
 	st.cur.Store(&Snapshot{version: cur.version + 1, cat: next})
+	if st.onPublish != nil {
+		st.onPublish(cur.version + 1)
+	}
 	return nil
 }
 
@@ -129,6 +146,9 @@ func (st *Store) Jump(cat *catalog.Catalog, version uint64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.cur.Store(&Snapshot{version: version, cat: cat})
+	if st.onPublish != nil {
+		st.onPublish(version)
+	}
 }
 
 // Locked runs fn on the current snapshot while holding the writer lock, so

@@ -1,0 +1,148 @@
+package storage
+
+import "fmt"
+
+// ColumnData is a read-only view of one column's typed storage. Exactly one
+// payload slice is non-nil, selected by Type; Nulls is nil when the column
+// holds no NULLs. The vectorized executor reads these views directly so its
+// kernels run over flat slices instead of boxed Values. Callers must not
+// mutate the slices — they alias the table's live storage.
+type ColumnData struct {
+	Type   Type
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Nulls  []bool
+}
+
+// ColumnData returns the typed view of column col.
+func (t *Table) ColumnData(col int) ColumnData {
+	c := t.cols[col]
+	return ColumnData{
+		Type:   c.typ,
+		Ints:   c.ints,
+		Floats: c.floats,
+		Strs:   c.strs,
+		Bools:  c.bools,
+		Nulls:  c.nulls,
+	}
+}
+
+// Null reports whether row i of the view is NULL.
+func (d ColumnData) Null(i int) bool { return d.Nulls != nil && d.Nulls[i] }
+
+// Value boxes row i of the view. Vectorized kernels fall back to it for the
+// type combinations they do not specialize.
+func (d ColumnData) Value(i int) Value {
+	if d.Null(i) {
+		return Null(d.Type)
+	}
+	switch d.Type {
+	case TypeInt64:
+		return Int64(d.Ints[i])
+	case TypeFloat64:
+		return Float64(d.Floats[i])
+	case TypeString:
+		return String64(d.Strs[i])
+	case TypeBool:
+		return Bool(d.Bools[i])
+	default:
+		panic("storage: Value from invalid column view")
+	}
+}
+
+// appendGather appends src's values at the selected row indices, in
+// selection order. Like AppendTable, the destination's nulls slice is
+// materialized as soon as the source has one.
+func (c *column) appendGather(src *column, sel []int) {
+	if c.nulls == nil && src.nulls != nil {
+		c.nulls = make([]bool, c.length(), c.length()+len(sel))
+	}
+	if c.nulls != nil {
+		if src.nulls != nil {
+			for _, r := range sel {
+				c.nulls = append(c.nulls, src.nulls[r])
+			}
+		} else {
+			c.nulls = append(c.nulls, make([]bool, len(sel))...)
+		}
+	}
+	switch c.typ {
+	case TypeInt64:
+		for _, r := range sel {
+			c.ints = append(c.ints, src.ints[r])
+		}
+	case TypeFloat64:
+		for _, r := range sel {
+			c.floats = append(c.floats, src.floats[r])
+		}
+	case TypeString:
+		for _, r := range sel {
+			c.strs = append(c.strs, src.strs[r])
+		}
+	case TypeBool:
+		for _, r := range sel {
+			c.bools = append(c.bools, src.bools[r])
+		}
+	}
+}
+
+// AppendGather appends the rows of src selected by sel (in selection order)
+// by gathering column storage directly, without boxing values. The schemas
+// must have the same column count and types (names may differ). It is the
+// sink of the vectorized scan: a selection vector over a base chunk turns
+// into output rows only here.
+func (t *Table) AppendGather(src *Table, sel []int) error {
+	if src.schema.NumColumns() != t.schema.NumColumns() {
+		return fmt.Errorf("storage: gather %d-column table into %d-column table",
+			src.schema.NumColumns(), t.schema.NumColumns())
+	}
+	for i, c := range t.cols {
+		if src.cols[i].typ != c.typ {
+			return fmt.Errorf("storage: column %d type mismatch: %s vs %s",
+				i, src.cols[i].typ, c.typ)
+		}
+	}
+	for i, c := range t.cols {
+		c.appendGather(src.cols[i], sel)
+	}
+	t.rows += len(sel)
+	return nil
+}
+
+// AppendPairGather appends joined rows formed by pairing left[lsel[i]] with
+// right[rsel[i]]. The receiver's schema must be the concatenation of left's
+// and right's column types (names may differ). lsel and rsel must have equal
+// length. It is the sink of the vectorized hash join: matched (left, right)
+// index pairs turn into output rows column by column.
+func (t *Table) AppendPairGather(left, right *Table, lsel, rsel []int) error {
+	if len(lsel) != len(rsel) {
+		return fmt.Errorf("storage: pair gather with %d left and %d right indices", len(lsel), len(rsel))
+	}
+	lcols := left.schema.NumColumns()
+	if lcols+right.schema.NumColumns() != t.schema.NumColumns() {
+		return fmt.Errorf("storage: pair gather %d+%d columns into %d-column table",
+			lcols, right.schema.NumColumns(), t.schema.NumColumns())
+	}
+	for i, c := range t.cols {
+		var st Type
+		if i < lcols {
+			st = left.cols[i].typ
+		} else {
+			st = right.cols[i-lcols].typ
+		}
+		if st != c.typ {
+			return fmt.Errorf("storage: column %d type mismatch: %s vs %s", i, st, c.typ)
+		}
+	}
+	for i, c := range t.cols {
+		if i < lcols {
+			c.appendGather(left.cols[i], lsel)
+		} else {
+			c.appendGather(right.cols[i-lcols], rsel)
+		}
+	}
+	t.rows += len(lsel)
+	return nil
+}

@@ -1,0 +1,44 @@
+// Arena pooling for the vectorized executor's chunk-local scratch buffers.
+//
+// The columnar scan and hash-join kernels need short-lived slices — selection
+// vectors, pair-index buffers, normalized key arrays — once per chunk, on
+// whatever worker goroutine the pool dispatched the chunk to. Allocating them
+// fresh per chunk would make the batch engine allocation-bound at exactly the
+// worker counts it exists to serve, so they are recycled here, next to the
+// pool that creates the parallelism.
+package workpool
+
+import "sync"
+
+// Arena recycles []T scratch buffers across chunks and worker goroutines.
+// Get returns a zero-length slice with at least the requested capacity; Put
+// recycles it. An Arena is safe for concurrent use; construct with NewArena.
+type Arena[T any] struct {
+	pool sync.Pool
+}
+
+// NewArena returns an empty arena for []T buffers.
+func NewArena[T any]() *Arena[T] {
+	a := &Arena[T]{}
+	a.pool.New = func() any { return new([]T) }
+	return a
+}
+
+// Get returns a zero-length buffer with capacity ≥ n; callers append into it.
+func (a *Arena[T]) Get(n int) []T {
+	s := *(a.pool.Get().(*[]T))
+	if cap(s) < n {
+		s = make([]T, 0, n)
+	}
+	return s[:0]
+}
+
+// Put recycles a buffer obtained from Get (or any []T the caller no longer
+// needs). Capacity-zero buffers are dropped. The caller must not use s after
+// Put — the next Get may hand it to another goroutine.
+func (a *Arena[T]) Put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	a.pool.Put(&s)
+}

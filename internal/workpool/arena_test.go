@@ -1,0 +1,51 @@
+package workpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaReuse(t *testing.T) {
+	a := NewArena[int]()
+	s := a.Get(16)
+	if len(s) != 0 || cap(s) < 16 {
+		t.Fatalf("Get(16): len=%d cap=%d", len(s), cap(s))
+	}
+	s = append(s, 1, 2, 3)
+	a.Put(s)
+	s2 := a.Get(8)
+	if len(s2) != 0 {
+		t.Fatalf("recycled buffer has len %d, want 0", len(s2))
+	}
+	// Growth: asking for more than the recycled capacity must still satisfy.
+	s3 := a.Get(1 << 16)
+	if cap(s3) < 1<<16 {
+		t.Fatalf("Get(1<<16): cap=%d", cap(s3))
+	}
+	a.Put(nil) // must not panic
+}
+
+func TestArenaConcurrent(t *testing.T) {
+	a := NewArena[int64]()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := a.Get(64)
+				for j := 0; j < 64; j++ {
+					s = append(s, int64(w*1000+j))
+				}
+				for j := 0; j < 64; j++ {
+					if s[j] != int64(w*1000+j) {
+						t.Errorf("worker %d saw corrupted buffer", w)
+						return
+					}
+				}
+				a.Put(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/executor"
 	"repro/internal/governor"
 	"repro/internal/optimizer"
+	"repro/internal/plancache"
 	"repro/internal/selest"
 	"repro/internal/snapshot"
 	"repro/internal/sqlparse"
@@ -137,35 +138,98 @@ func optimizerOptions(cat *catalog.Catalog, gov *governor.Governor) optimizer.Op
 	return opts
 }
 
-// prepare parses, binds, estimates and plans a query under an algorithm
-// against the pinned catalog, charging plan enumeration to the governor
-// (which may be nil).
-func prepare(cat *catalog.Catalog, gov *governor.Governor, sql string, algo Algorithm) (*sqlparse.Query, optimizer.Plan, *optimizer.Optimizer, error) {
+// cachedPlan is one plan-cache entry: the optimized (immutable) plan tree
+// and a fully built estimate template. Hits copy the template by value, so
+// per-serve stamping (replica lag) never leaks between callers or back
+// into the cache.
+type cachedPlan struct {
+	plan optimizer.Plan
+	est  Estimate
+}
+
+// planFor parses, binds, plans, and estimates sql under algo against the
+// pinned snapshot, consulting the system's plan cache first. A non-empty
+// order forces the join order (EstimateOrder) and is folded into the cache
+// key, so forced-order estimates cache independently of best-plan ones.
+//
+// The cache key is (canonical normalized query, algorithm, pinned catalog
+// version): semantically identical query texts share an entry, and an
+// entry can only ever be served against the exact catalog version it was
+// planned on. On a hit, parse and bind still run (the caller needs the
+// bound query, and binding is what canonicalization is defined over) but
+// estimation and plan enumeration are skipped entirely — no plans are
+// charged against Limits.MaxPlans. Failed preparations are never cached.
+// Limits.DisableCache bypasses the cache wholesale.
+func (s *System) planFor(gov *governor.Governor, snap *snapshot.Snapshot, sql string, algo Algorithm, order []string) (*sqlparse.Query, optimizer.Plan, *Estimate, error) {
 	cfg, err := algo.config()
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	cat := snap.Catalog()
 	q, err := sqlparse.ParseAndBind(sql, cat)
 	if err != nil {
 		return nil, nil, nil, wrapParse(err)
+	}
+	cache := s.cache
+	if cache == nil || s.Limits().DisableCache {
+		cache = nil
+	}
+	var key plancache.Key
+	if cache != nil {
+		key = plancache.Key{Query: cacheQueryText(q, order), Algo: int(algo), Version: snap.Version()}
+		if v, ok := cache.Get(key); ok {
+			cp := v.(*cachedPlan)
+			est := cp.est // copy the template; callers may stamp their copy
+			return q, cp.plan, &est, nil
+		}
 	}
 	tabs := make([]cardest.TableRef, len(q.Tables))
 	for i, item := range q.Tables {
 		tabs[i] = cardest.TableRef{Alias: item.Alias, Table: item.Table}
 	}
-	est, err := cardest.NewQuery(cat, tabs, q.Where, q.Disjunctions, cfg)
+	cest, err := cardest.NewQuery(cat, tabs, q.Where, q.Disjunctions, cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	opt, err := optimizer.New(est, optimizerOptions(cat, gov))
+	opt, err := optimizer.New(cest, optimizerOptions(cat, gov))
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	plan, err := opt.BestPlan()
+	var plan optimizer.Plan
+	if len(order) > 0 {
+		plan, err = opt.PlanForOrder(order)
+	} else {
+		plan, err = opt.BestPlan()
+	}
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return q, plan, opt, nil
+	est := buildEstimate(algo, plan, opt)
+	est.CatalogVersion = snap.Version()
+	est.GroupEstimate = estimateGroups(q, plan, opt)
+	if cache != nil {
+		cache.Put(key, &cachedPlan{plan: plan, est: *est})
+	}
+	return q, plan, est, nil
+}
+
+// cacheQueryText renders the cache key's query component: the canonical
+// normalized query, plus a length-prefixed forced-order suffix when the
+// caller pinned a join order.
+func cacheQueryText(q *sqlparse.Query, order []string) string {
+	norm := plancache.Canonical(q)
+	if len(order) == 0 {
+		return norm
+	}
+	var b strings.Builder
+	b.WriteString(norm)
+	b.WriteString("order:")
+	for _, alias := range order {
+		a := strings.ToLower(alias)
+		fmt.Fprintf(&b, "%d:%s", len(a), a)
+	}
+	b.WriteByte('\n')
+	return b.String()
 }
 
 func buildEstimate(algo Algorithm, plan optimizer.Plan, opt *optimizer.Optimizer) *Estimate {
@@ -243,13 +307,11 @@ func (s *System) Estimate(sql string, algo Algorithm) (*Estimate, error) {
 func (s *System) EstimateContext(ctx context.Context, sql string, algo Algorithm) (*Estimate, error) {
 	var est *Estimate
 	err := s.serve(ctx, func(gov *governor.Governor, snap *snapshot.Snapshot) error {
-		q, plan, opt, err := prepare(snap.Catalog(), gov, sql, algo)
+		_, _, got, err := s.planFor(gov, snap, sql, algo, nil)
 		if err != nil {
 			return err
 		}
-		est = buildEstimate(algo, plan, opt)
-		est.CatalogVersion = snap.Version()
-		est.GroupEstimate = estimateGroups(q, plan, opt)
+		est = got
 		return nil
 	})
 	if err != nil {
@@ -270,33 +332,11 @@ func (s *System) EstimateOrder(sql string, algo Algorithm, order []string) (*Est
 func (s *System) EstimateOrderContext(ctx context.Context, sql string, algo Algorithm, order []string) (*Estimate, error) {
 	var est *Estimate
 	err := s.serve(ctx, func(gov *governor.Governor, snap *snapshot.Snapshot) error {
-		cfg, err := algo.config()
+		_, _, got, err := s.planFor(gov, snap, sql, algo, order)
 		if err != nil {
 			return err
 		}
-		cat := snap.Catalog()
-		q, err := sqlparse.ParseAndBind(sql, cat)
-		if err != nil {
-			return wrapParse(err)
-		}
-		tabs := make([]cardest.TableRef, len(q.Tables))
-		for i, item := range q.Tables {
-			tabs[i] = cardest.TableRef{Alias: item.Alias, Table: item.Table}
-		}
-		cest, err := cardest.NewQuery(cat, tabs, q.Where, q.Disjunctions, cfg)
-		if err != nil {
-			return err
-		}
-		opt, err := optimizer.New(cest, optimizerOptions(cat, gov))
-		if err != nil {
-			return err
-		}
-		plan, err := opt.PlanForOrder(order)
-		if err != nil {
-			return err
-		}
-		est = buildEstimate(algo, plan, opt)
-		est.CatalogVersion = snap.Version()
+		est = got
 		return nil
 	})
 	if err != nil {
@@ -317,13 +357,10 @@ func (s *System) Explain(sql string, algo Algorithm) (string, error) {
 func (s *System) ExplainContext(ctx context.Context, sql string, algo Algorithm) (string, error) {
 	var out string
 	err := s.serve(ctx, func(gov *governor.Governor, snap *snapshot.Snapshot) error {
-		q, plan, opt, err := prepare(snap.Catalog(), gov, sql, algo)
+		_, _, est, err := s.planFor(gov, snap, sql, algo, nil)
 		if err != nil {
 			return err
 		}
-		est := buildEstimate(algo, plan, opt)
-		est.CatalogVersion = snap.Version()
-		est.GroupEstimate = estimateGroups(q, plan, opt)
 		out = formatExplain(est)
 		return nil
 	})
@@ -367,7 +404,7 @@ func (s *System) ExplainDot(sql string, algo Algorithm) (string, error) {
 func (s *System) ExplainDotContext(ctx context.Context, sql string, algo Algorithm) (string, error) {
 	var out string
 	err := s.serve(ctx, func(gov *governor.Governor, snap *snapshot.Snapshot) error {
-		_, plan, _, err := prepare(snap.Catalog(), gov, sql, algo)
+		_, plan, _, err := s.planFor(gov, snap, sql, algo, nil)
 		if err != nil {
 			return err
 		}
@@ -412,30 +449,27 @@ func (s *System) QueryContext(ctx context.Context, sql string, algo Algorithm) (
 
 // queryOn runs one plan-and-execute attempt against the pinned snapshot.
 func (s *System) queryOn(snap *snapshot.Snapshot, gov *governor.Governor, sql string, algo Algorithm) (*Result, error) {
-	cat := snap.Catalog()
-	q, plan, opt, err := prepare(cat, gov, sql, algo)
+	q, plan, est, err := s.planFor(gov, snap, sql, algo, nil)
 	if err != nil {
 		return nil, err
 	}
-	exec := executor.NewGoverned(cat, gov)
+	exec := executor.NewGoverned(snap.Catalog(), gov)
 	res, err := exec.Execute(plan)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{
-		Estimate:      buildEstimate(algo, plan, opt),
+		Estimate:      est,
 		Count:         res.Stats.RowsProduced,
 		TuplesScanned: res.Stats.TuplesScanned,
 		Comparisons:   res.Stats.Comparisons,
 		Elapsed:       res.Stats.Elapsed,
 	}
-	out.Estimate.CatalogVersion = snap.Version()
 	for _, n := range res.Nodes {
 		out.Nodes = append(out.Nodes, NodeStat{
 			Node: n.Node, Depth: n.Depth, EstimatedRows: n.EstRows, ActualRows: n.ActualRows,
 		})
 	}
-	out.Estimate.GroupEstimate = estimateGroups(q, plan, opt)
 	if len(q.Select) > 0 {
 		return s.aggregateResult(q, exec, res, out)
 	}

@@ -69,6 +69,7 @@ func OpenReplica(dir string) (*Replica, error) {
 		dur:     d,
 		fol:     fol,
 	}
+	sys.initCache()
 	return &Replica{sys: sys, fol: fol, id: id}, nil
 }
 

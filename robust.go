@@ -100,6 +100,9 @@ func (s *System) SetLimits(l Limits) {
 			NoFsync:         l.NoFsync,
 		})
 	}
+	if s.cache != nil {
+		s.cache.SetCapacity(l.PlanCacheSize)
+	}
 }
 
 // Limits returns the system's current default resource limits.

@@ -286,10 +286,14 @@ func TestBreakerProbeSurvivesAdmissionShed(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	// Trip the breaker with an injected internal error on a third slot.
+	// The query uses a distinct constant so it misses the plan cache (the
+	// occupiers warmed serveJoinSQL) and actually reaches the estimator
+	// where the fault is injected.
 	faultinject.Enable(cardest.PointNewQuery, faultinject.Fault{
 		Err: fmt.Errorf("%w: injected", ErrInternal), Times: 1,
 	})
-	if _, err := sys.Query(serveJoinSQL, AlgorithmELS); !errors.Is(err, ErrInternal) {
+	const trippingSQL = "SELECT COUNT(*) FROM R, S WHERE R.a = S.a AND R.b < 4"
+	if _, err := sys.Query(trippingSQL, AlgorithmELS); !errors.Is(err, ErrInternal) {
 		t.Fatalf("tripping query err = %v, want ErrInternal", err)
 	}
 	if st := sys.RobustnessStats(); st.BreakerState != "open" {

@@ -92,6 +92,51 @@ func TestChaosSoak(t *testing.T) {
 	}
 }
 
+// TestChaosCacheSoak storms the plan cache: workers re-issue a Zipf-skewed
+// statement pool while the mutator publishes catalog versions mid-flight.
+// The torn-read audit proves no query was ever served a plan or estimate
+// from a version other than its pinned Estimate.CatalogVersion, and the
+// quiesced warm-path audit proves repeats actually hit the cache with
+// bit-identical estimates.
+func TestChaosCacheSoak(t *testing.T) {
+	cfg := chaos.Config{
+		Seed:         19,
+		Workers:      8,
+		OpsPerWorker: 80,
+	}
+	if testing.Short() {
+		cfg.Workers = 4
+		cfg.OpsPerWorker = 30
+	}
+	if logF := chaosLog(t); logF != nil {
+		cfg.LogW = logF
+	}
+	rep, err := chaos.RunCacheSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Succeeded == 0 {
+		t.Error("no operation succeeded")
+	}
+	if rep.Observations == 0 {
+		t.Error("no version-consistency observations collected")
+	}
+	if rep.VersionsPublished < 2 {
+		t.Errorf("mutator published only %d versions", rep.VersionsPublished)
+	}
+	if rep.Cache.Hits == 0 {
+		t.Error("storm produced no cache hits despite a repeated workload")
+	}
+	if rep.Cache.Invalidations == 0 {
+		t.Error("version bumps retired no cache entries")
+	}
+	t.Logf("cache storm: %d ops, %d ok, %d versions, cache %+v",
+		rep.Ops, rep.Succeeded, rep.VersionsPublished, rep.Cache)
+}
+
 // TestChaosSoakWithBreaker repeats the storm with the circuit breaker
 // armed: injected internal-error bursts trip it, and shed queries must
 // still classify as overloaded — never as unclassified leaks.
