@@ -1,0 +1,104 @@
+package els_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	els "repro"
+)
+
+// TestCloseAttachCheckpointRace is the regression test for the drain
+// races: Close(ctx) racing concurrent AttachReplica and Checkpoint calls
+// must neither block nor leak — every racer returns promptly, and a racer
+// that loses to the drain gets a typed closing (or durability-frozen)
+// error, never a raw one. Run with -race: the bug class here is lock
+// ordering between Close's teardown and the attach/checkpoint paths.
+func TestCloseAttachCheckpointRace(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		round := round
+		t.Run(fmt.Sprintf("round%d", round), func(t *testing.T) {
+			root := t.TempDir()
+			sys, err := els.Open(filepath.Join(root, "primary"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.DeclareStats("T", 1000, map[string]float64{"a": 10}); err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			errCh := make(chan error, 32)
+
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				errCh <- sys.Close(ctx)
+			}()
+			for i := 0; i < 4; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rep, err := els.OpenReplica(filepath.Join(root, fmt.Sprintf("r%d-%d", round, i)))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					<-start
+					errCh <- sys.AttachReplica(rep)
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					defer cancel()
+					rep.Close(ctx)
+				}()
+			}
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					errCh <- sys.Checkpoint()
+				}()
+			}
+
+			close(start)
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("Close vs AttachReplica/Checkpoint deadlocked")
+			}
+			close(errCh)
+			for err := range errCh {
+				if err == nil {
+					continue // the racer won against the drain
+				}
+				// Losing the race must yield the typed closing error — or
+				// the durable store's own typed rejection when the call
+				// slipped past the gate into a closed store.
+				if !errors.Is(err, els.ErrClosed) && !errors.Is(err, els.ErrDurability) {
+					t.Errorf("racer got untyped error %v", err)
+				}
+			}
+
+			// Close is idempotent, and everything after it stays typed.
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			if err := sys.Close(ctx); err != nil {
+				t.Errorf("second Close: %v", err)
+			}
+			if err := sys.Checkpoint(); !errors.Is(err, els.ErrClosed) && !errors.Is(err, els.ErrDurability) {
+				t.Errorf("Checkpoint after Close = %v, want a typed closing error", err)
+			}
+		})
+	}
+}

@@ -33,16 +33,25 @@
 // report records how long the fleet takes to catch up to the primary's
 // version (replica_catchup_ms) and its aggregate estimate throughput once
 // caught up (replica_reads_per_sec).
+//
+// -server additionally benchmarks the networked serving layer: an
+// in-process wire server with one deliberately small tenant is hammered by
+// an oversubscribed client swarm, and the report records the
+// client-observed p99 round-trip latency (server_p99_ms) and the fraction
+// of requests the admission bulkhead shed with the typed overload error
+// (shed_rate).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -51,6 +60,8 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/governor"
 	"repro/internal/querygen"
+	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/internal/workpool"
 )
 
@@ -67,6 +78,7 @@ func main() {
 		queueTimeout  = flag.Duration("queue-timeout", 0, "admission control: max time the run waits for a slot (0 = forever)")
 		dataDir       = flag.String("data-dir", "", "durable catalog directory: persist the Section 8 statistics catalog, checkpoint on exit, and measure recovery_ms")
 		replicas      = flag.Int("replicas", 0, "with -data-dir: attach N WAL-shipped read replicas, measure cold catch-up time and follower read throughput")
+		serverBench   = flag.Bool("server", false, "benchmark the wire server: oversubscribed client swarm against an in-process elsserve tenant, measure server_p99_ms and shed_rate")
 	)
 	flag.Parse()
 	report := &experiment.BenchReport{Scale: *scale, Seed: *seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
@@ -98,6 +110,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stdout, "replication: %d cold replicas caught up in %.3f ms; %.0f follower reads/s\n",
 			report.Replicas, report.ReplicaCatchupMillis, report.ReplicaReadsPerSec)
+	}
+	if *serverBench {
+		if err := measureServer(report); err != nil {
+			fmt.Fprintln(os.Stderr, "elsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "server: p99 round trip %.3f ms; %.1f%% of swarm requests shed by admission\n",
+			report.ServerP99Millis, report.ShedRate*100)
 	}
 	if *jsonPath != "" {
 		if err := experiment.WriteBenchJSON(*jsonPath, report); err != nil {
@@ -468,6 +488,109 @@ func measureReplication(dir string, n int, report *experiment.BenchReport) error
 		}
 	}
 	report.ReplicaReadsPerSec = float64(readsPerReplica*n) / time.Since(start).Seconds()
+	return nil
+}
+
+// measureServer benchmarks the networked serving path: an in-process wire
+// server hosting one tenant whose admission limits are deliberately small,
+// hammered by an oversubscribed swarm of wire clients executing count
+// queries over a loaded join.
+// Client-observed p99 round-trip latency lands in server_p99_ms, and the
+// fraction of requests shed with the typed overload error — the bulkhead
+// engaging, not a failure — lands in shed_rate.
+func measureServer(report *experiment.BenchReport) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, err := server.Start(ctx, server.Config{
+		Addr: "127.0.0.1:0",
+		Tenants: []server.TenantConfig{{
+			Name: "bench",
+			Limits: els.Limits{
+				Timeout:       5 * time.Second,
+				MaxConcurrent: 4,
+				MaxQueue:      4,
+				QueueTimeout:  5 * time.Millisecond,
+			},
+			Bootstrap: func(sys *els.System) error {
+				mk := func(n, mod int) [][]int64 {
+					rows := make([][]int64, n)
+					for i := range rows {
+						rows[i] = []int64{int64(i % mod)}
+					}
+					return rows
+				}
+				if err := sys.LoadTable("S", []string{"s"}, mk(2500, 50)); err != nil {
+					return err
+				}
+				return sys.LoadTable("M", []string{"m"}, mk(2500, 50))
+			},
+		}},
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		srv.Shutdown(sctx)
+	}()
+
+	// 12 connections against 4 slots + 4 queue positions, with queries
+	// sized to tens of milliseconds: enough oversubscription that both
+	// shed paths (queue full, queue timeout) engage while most requests
+	// still succeed. The query must span several scheduler preemption
+	// quanta — sub-quantum queries complete before waiters can even enter
+	// the admission queue on a small box, and nothing sheds.
+	const clients = 12
+	const opsPerClient = 60
+	const probe = "SELECT COUNT(*) FROM S, M WHERE s = m"
+	type swarmResult struct {
+		latencies []time.Duration
+		sheds     int
+	}
+	results := make([]swarmResult, clients)
+	done := make([]<-chan error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		done[i] = workpool.Async(func() error {
+			cl, err := wire.Dial(ctx, srv.Addr())
+			if err != nil {
+				return err
+			}
+			defer cl.Close()
+			res := &results[i]
+			res.latencies = make([]time.Duration, 0, opsPerClient)
+			for j := 0; j < opsPerClient; j++ {
+				start := time.Now()
+				_, err := cl.Do(ctx, &wire.Request{Op: wire.OpQuery, Tenant: "bench", SQL: probe})
+				res.latencies = append(res.latencies, time.Since(start))
+				if err != nil {
+					if errors.Is(err, els.ErrOverloaded) {
+						res.sheds++
+						continue
+					}
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	for _, ch := range done {
+		if err := <-ch; err != nil {
+			return err
+		}
+	}
+
+	var all []time.Duration
+	var sheds int
+	for _, res := range results {
+		all = append(all, res.latencies...)
+		sheds += res.sheds
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p99 := all[len(all)*99/100]
+	report.ServerP99Millis = float64(p99.Microseconds()) / 1000
+	report.ShedRate = float64(sheds) / float64(len(all))
 	return nil
 }
 

@@ -1,0 +1,67 @@
+package driver
+
+import (
+	"database/sql"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDriverLiveServer drives an externally started elsserve — the CI
+// server-smoke job builds the binary with -race, starts it with three
+// tenants on a durable data dir, and runs this test against it before and
+// after a SIGTERM drain/restart cycle. It skips unless ELS_SMOKE_ADDR is
+// set, so the normal test run is self-contained.
+//
+// First pass (ELS_SMOKE_EXPECT_STATS unset): declare tenant-distinct
+// statistics through the driver and read them back. Second pass (set):
+// declare nothing and assert the first pass's stats survived the drain
+// checkpoint and recovery — an acknowledged mutation crossed the restart.
+// The cardinalities are tenant-banded, so a cross-tenant mixup shows up
+// as a wrong estimate, not just a missing one.
+func TestDriverLiveServer(t *testing.T) {
+	addr := os.Getenv("ELS_SMOKE_ADDR")
+	if addr == "" {
+		t.Skip("ELS_SMOKE_ADDR not set; this test drives an external elsserve")
+	}
+	tenantList := os.Getenv("ELS_SMOKE_TENANTS")
+	if tenantList == "" {
+		tenantList = "alpha,beta,gamma"
+	}
+	expectRecovered := os.Getenv("ELS_SMOKE_EXPECT_STATS") != ""
+
+	for i, tenant := range strings.Split(tenantList, ",") {
+		want := float64(10000 * (i + 1))
+		db, err := sql.Open("els", fmt.Sprintf("els://%s/%s?timeout=5s&retries=3", addr, tenant))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Ping(); err != nil {
+			t.Fatalf("tenant %s: ping: %v", tenant, err)
+		}
+		if !expectRecovered {
+			res, err := db.Exec(fmt.Sprintf("DECLARE STATS SMOKE %d k=100", int64(want)))
+			if err != nil {
+				t.Fatalf("tenant %s: declare: %v", tenant, err)
+			}
+			if v, err := res.LastInsertId(); err != nil || v == 0 {
+				t.Fatalf("tenant %s: declare acked version %d, %v", tenant, v, err)
+			}
+		}
+		var algo, joinOrder string
+		var size float64
+		var version int64
+		err = db.QueryRow("ESTIMATE SELECT COUNT(*) FROM SMOKE").
+			Scan(&algo, &size, &version, &joinOrder)
+		if err != nil {
+			t.Fatalf("tenant %s: estimate (recovered=%v): %v", tenant, expectRecovered, err)
+		}
+		if size != want {
+			t.Errorf("tenant %s: estimate = %g, want %g (recovered=%v)", tenant, size, want, expectRecovered)
+		}
+		if err := db.Close(); err != nil {
+			t.Errorf("tenant %s: close: %v", tenant, err)
+		}
+	}
+}

@@ -58,6 +58,15 @@ func (s *System) Checkpoint() error {
 	if s.dur == nil {
 		return fmt.Errorf("%w: system has no durable store (use els.Open)", ErrDurability)
 	}
+	// Checkpoints are refused for the whole drain window (not merely after
+	// the WAL closes): Close's final state is the drained WAL, and a
+	// checkpoint racing the teardown would contend with it for the store's
+	// files. The durable store itself also rejects use after Close, so
+	// this check failing to observe an in-progress Close is still safe —
+	// the inner call returns a typed durability error instead.
+	if s.closing.Load() {
+		return fmt.Errorf("%w: draining, not checkpointing", ErrClosed)
+	}
 	return s.store.Locked(func(snap *snapshot.Snapshot) error {
 		return s.dur.Checkpoint(snap.Catalog(), snap.Version())
 	})

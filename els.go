@@ -33,6 +33,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/admission"
 	"repro/internal/cardest"
@@ -161,8 +162,18 @@ type System struct {
 	fol      *replica.Follower
 	promoted atomic.Bool
 
+	// closing flips at the very start of Close, before the admission drain
+	// begins, so AttachReplica and Checkpoint arriving during the drain
+	// window fail fast with a typed ErrClosed instead of racing the
+	// shipper/WAL teardown (or blocking behind it).
+	closing atomic.Bool
+
 	mu     sync.RWMutex
 	limits Limits // default per-query resource budgets (zero: ungoverned)
+
+	// admObs, when installed, observes every admitted query's queue wait
+	// (see SetAdmissionObserver). Guarded by mu.
+	admObs func(wait time.Duration)
 
 	retry    RetryPolicy // opt-in transient-error retry (zero: off)
 	retryRng *rand.Rand  // seeded jitter source, guarded by retryMu

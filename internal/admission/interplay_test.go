@@ -1,0 +1,143 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/governor"
+)
+
+// The queue timeout and the caller's deadline race while a query waits
+// for a slot; whichever fires first must yield its own typed error, and
+// the wait must be charged to the right ledger — the queue-timeout shed
+// counter for the server's policy, the caller's wall-clock budget error
+// for the client's deadline.
+
+// Caller deadline < queue timeout: the caller's budget fires first, so
+// the waiter gets the wall-clock BudgetError (errors.Is
+// ErrBudgetExceeded) with the wait charged against the caller's budget,
+// and the controller books a cancellation — NOT a queue-timeout shed,
+// which would misattribute the failure to server-side overload policy.
+func TestCallerDeadlineBeatsQueueTimeout(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, QueueTimeout: 5 * time.Second})
+	s, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+
+	const deadline = 25 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Acquire(ctx)
+	waited := time.Since(start)
+
+	var be *governor.BudgetError
+	if !errors.As(err, &be) || be.Resource != "wall-clock" {
+		t.Fatalf("err = %v, want a wall-clock BudgetError", err)
+	}
+	if !errors.Is(err, governor.ErrBudgetExceeded) {
+		t.Fatalf("err = %v does not match ErrBudgetExceeded", err)
+	}
+	if errors.Is(err, governor.ErrOverloaded) {
+		t.Fatalf("err = %v also matches ErrOverloaded; the classes must stay distinct", err)
+	}
+	if got := time.Duration(be.Used); got < deadline {
+		t.Errorf("budget error charged %v of wait, want at least the %v deadline", got, deadline)
+	}
+	if waited < deadline {
+		t.Errorf("acquire returned after %v, before the %v deadline", waited, deadline)
+	}
+	st := c.Snapshot()
+	if st.ShedQueueTimeout != 0 {
+		t.Errorf("caller's deadline was booked as a queue-timeout shed: %+v", st)
+	}
+	if st.CanceledWaiting != 1 {
+		t.Errorf("CanceledWaiting = %d, want 1: %+v", st.CanceledWaiting, st)
+	}
+}
+
+// Queue timeout < caller deadline: the server's shed policy fires first,
+// so the waiter gets the typed overload error naming the queue timeout,
+// with the waited duration recorded and the shed booked to the
+// queue-timeout counter — NOT a cancellation, which would hide an
+// overloaded server from its own shed-rate SLO.
+func TestQueueTimeoutBeatsCallerDeadline(t *testing.T) {
+	const queueTimeout = 25 * time.Millisecond
+	c := New(Config{MaxConcurrent: 1, QueueTimeout: queueTimeout})
+	s, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err = c.Acquire(ctx)
+
+	var oe *governor.OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue timeout" {
+		t.Fatalf("err = %v, want a queue-timeout OverloadError", err)
+	}
+	if !errors.Is(err, governor.ErrOverloaded) {
+		t.Fatalf("err = %v does not match ErrOverloaded", err)
+	}
+	if errors.Is(err, governor.ErrBudgetExceeded) || errors.Is(err, governor.ErrCanceled) {
+		t.Fatalf("err = %v also matches a caller-side class; the shed must stay server-attributed", err)
+	}
+	if oe.Waited < queueTimeout {
+		t.Errorf("shed after %v of waiting, want at least the %v queue timeout", oe.Waited, queueTimeout)
+	}
+	st := c.Snapshot()
+	if st.ShedQueueTimeout != 1 {
+		t.Errorf("ShedQueueTimeout = %d, want 1: %+v", st.ShedQueueTimeout, st)
+	}
+	if st.CanceledWaiting != 0 {
+		t.Errorf("queue-timeout shed was booked as a cancellation: %+v", st)
+	}
+}
+
+// An admitted query's queue wait lands in the admission ledger
+// (Stats.QueueWait, Slot.Waited) and in the governor's queue-wait
+// accounting — but never in its wall-clock budget, whose clock starts at
+// admission. A query that queued longer than its entire wall-clock budget
+// must still run.
+func TestQueueWaitChargedToQueueLedgerNotWallClock(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1})
+	s, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const hold = 60 * time.Millisecond
+	go func() {
+		time.Sleep(hold)
+		s.Release()
+	}()
+	s2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("queued acquire failed: %v", err)
+	}
+	defer s2.Release()
+	if s2.Waited() < hold/2 {
+		t.Fatalf("Waited() = %v, want a real queue wait (slot was held %v)", s2.Waited(), hold)
+	}
+	if st := c.Snapshot(); st.QueueWait < s2.Waited() {
+		t.Errorf("Stats.QueueWait = %v < slot's own wait %v", st.QueueWait, s2.Waited())
+	}
+
+	// The governor's wall-clock budget is smaller than the wait the query
+	// already survived; charging the wait to the right ledger means the
+	// budget is still intact.
+	gov := governor.New(s2.Context(), governor.Limits{Timeout: hold / 2})
+	gov.RecordQueueWait(s2.Waited())
+	if gerr := gov.Err(); gerr != nil {
+		t.Fatalf("queue wait consumed the wall-clock budget: %v", gerr)
+	}
+	if gov.QueueWait() != s2.Waited() {
+		t.Errorf("governor QueueWait = %v, want the slot's %v", gov.QueueWait(), s2.Waited())
+	}
+}

@@ -2,7 +2,7 @@
 // package: every error constructed inside an els function must wrap one of
 // the taxonomy sentinels (ErrParse, ErrBadStats, ErrCanceled,
 // ErrBudgetExceeded, ErrOverloaded, ErrDurability, ErrStaleReplica,
-// ErrDiverged, ErrInternal) so callers can always
+// ErrDiverged, ErrBadWire, ErrTenant, ErrInternal) so callers can always
 // classify failures with errors.Is. Concretely it flags errors.New calls
 // and fmt.Errorf calls whose format string has no %w verb; package-level
 // var declarations are exempt (that is where sentinels themselves are
@@ -59,10 +59,10 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 		pkg := importedPkg(pass, sel.X)
 		switch {
 		case pkg == "errors" && sel.Sel.Name == "New":
-			pass.Reportf(call.Pos(), "errors.New in package els wraps no taxonomy sentinel; use fmt.Errorf(\"...: %%w\", ErrParse/ErrBadStats/ErrCanceled/ErrBudgetExceeded/ErrOverloaded/ErrDurability/ErrStaleReplica/ErrDiverged/ErrInternal)")
+			pass.Reportf(call.Pos(), "errors.New in package els wraps no taxonomy sentinel; use fmt.Errorf(\"...: %%w\", ErrParse/ErrBadStats/ErrCanceled/ErrBudgetExceeded/ErrOverloaded/ErrDurability/ErrStaleReplica/ErrDiverged/ErrBadWire/ErrTenant/ErrInternal)")
 		case pkg == "fmt" && sel.Sel.Name == "Errorf":
 			if lit := formatLiteral(call); lit != "" && !strings.Contains(lit, "%w") {
-				pass.Reportf(call.Pos(), "fmt.Errorf in package els wraps no taxonomy sentinel; chain one with %%w (ErrParse/ErrBadStats/ErrCanceled/ErrBudgetExceeded/ErrOverloaded/ErrDurability/ErrStaleReplica/ErrDiverged/ErrInternal)")
+				pass.Reportf(call.Pos(), "fmt.Errorf in package els wraps no taxonomy sentinel; chain one with %%w (ErrParse/ErrBadStats/ErrCanceled/ErrBudgetExceeded/ErrOverloaded/ErrDurability/ErrStaleReplica/ErrDiverged/ErrBadWire/ErrTenant/ErrInternal)")
 			}
 		}
 		return true

@@ -59,6 +59,14 @@ type BenchReport struct {
 	// per-query execution time on the Section 8 experiment (> 1 means the
 	// columnar engine is faster). 0 when the run skipped execution.
 	ColumnarSpeedup float64 `json:"columnar_speedup"`
+	// ServerP99Millis is the client-observed p99 round-trip latency of
+	// the wire-server swarm benchmark (-server). 0 when the run did not
+	// include it.
+	ServerP99Millis float64 `json:"server_p99_ms"`
+	// ShedRate is the fraction of the -server swarm's requests shed with
+	// the typed overload error — the admission bulkhead engaging under
+	// the benchmark's deliberate oversubscription. 0 when absent.
+	ShedRate float64 `json:"shed_rate"`
 }
 
 // SumTuplesScanned totals the executor work across a Section 8 table's rows.

@@ -71,6 +71,18 @@ var (
 	// error — until it is re-attached and resynchronized from a full
 	// catalog frame.
 	ErrDiverged = errors.New("els: replica diverged")
+	// ErrBadWire reports a wire-protocol failure between a client and a
+	// serving process (cmd/elsserve): a frame that failed length or
+	// checksum verification, a malformed or oversized request, an unknown
+	// operation, or a connection that died mid-frame. The request it
+	// covered may or may not have executed; idempotent reads are safe to
+	// resubmit on a fresh connection.
+	ErrBadWire = errors.New("els: wire protocol failure")
+	// ErrTenant reports that a multi-tenant server could not route the
+	// request to a healthy tenant: the tenant is unknown, or its bulkhead
+	// quarantined it as degraded (repeated internal errors or a frozen
+	// durable store). Other tenants on the same server are unaffected.
+	ErrTenant = errors.New("els: tenant unavailable")
 )
 
 // BudgetError is the concrete error for an exhausted budget. It matches
@@ -182,6 +194,33 @@ func (e *DivergenceError) Error() string {
 
 // Unwrap makes errors.Is(err, ErrDiverged) hold.
 func (e *DivergenceError) Unwrap() error { return ErrDiverged }
+
+// TenantError is the concrete error for a request a multi-tenant server
+// refused to route. It matches ErrTenant under errors.Is and reports
+// whether the tenant exists at all and whether its bulkhead quarantined
+// it.
+type TenantError struct {
+	// Tenant names the tenant the request addressed.
+	Tenant string
+	// Reason is one of "unknown tenant", "quarantined", "draining".
+	Reason string
+	// Quarantined marks a tenant degraded by its bulkhead (repeated
+	// internal errors or a frozen durable store) rather than absent.
+	Quarantined bool
+	// Cause is the failure that tripped the quarantine, when one did.
+	Cause error
+}
+
+func (e *TenantError) Error() string {
+	s := fmt.Sprintf("els: tenant unavailable: %q: %s", e.Tenant, e.Reason)
+	if e.Cause != nil {
+		s += ": " + e.Cause.Error()
+	}
+	return s
+}
+
+// Unwrap makes errors.Is(err, ErrTenant) hold.
+func (e *TenantError) Unwrap() error { return ErrTenant }
 
 // Limits configures per-query resource budgets and parallelism. The zero
 // value enforces nothing and uses the default worker count.

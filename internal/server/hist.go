@@ -1,0 +1,81 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counter is a cheap atomic counter.
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) add(n uint64) { c.v.Add(n) }
+func (c *counter) load() uint64 { return c.v.Load() }
+
+// hist is a fixed-shape log-bucket latency histogram: bucket i covers
+// durations up to base·growth^i. Log buckets keep the memory constant and
+// the quantile error proportional (±15%), which is plenty for SLO
+// observability — the point is the order of magnitude of the p99, not its
+// fourth digit.
+const (
+	histBase    = 10 * time.Microsecond
+	histGrowth  = 1.3
+	histBuckets = 64 // last bucket tops out above an hour
+)
+
+type hist struct {
+	mu     sync.Mutex
+	counts [histBuckets]uint64
+	total  uint64
+}
+
+func newHist() *hist { return &hist{} }
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	if d <= histBase {
+		return 0
+	}
+	i := int(math.Ceil(math.Log(float64(d)/float64(histBase)) / math.Log(histGrowth)))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// upperBound is bucket i's inclusive upper duration bound.
+func upperBound(i int) time.Duration {
+	return time.Duration(float64(histBase) * math.Pow(histGrowth, float64(i)))
+}
+
+// observe books one sample.
+func (h *hist) observe(d time.Duration) {
+	i := bucketFor(d)
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.mu.Unlock()
+}
+
+// quantile returns the upper bound of the bucket holding the p-quantile
+// sample (0 with no samples).
+func (h *hist) quantile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return upperBound(i)
+		}
+	}
+	return upperBound(histBuckets - 1)
+}

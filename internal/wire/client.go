@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/governor"
+)
+
+// DefaultOpTimeout bounds one request/response round trip when neither
+// the caller's context nor the request carries a deadline — a client must
+// never hang forever on a stalled server.
+const DefaultOpTimeout = 30 * time.Second
+
+// Client is one connection to a serving process. A Client serializes its
+// requests (one in flight at a time), which matches both database/sql's
+// per-Conn discipline and the chaos fleet's one-client-per-goroutine
+// shape; open more clients for more concurrency.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	// OpTimeout bounds a round trip when the context has no deadline;
+	// zero selects DefaultOpTimeout.
+	OpTimeout time.Duration
+	// MaxFrame bounds response frames; zero selects DefaultMaxFrame.
+	MaxFrame uint32
+
+	nextID uint64
+	broken bool // a torn round trip desyncs the stream; fail fast after
+}
+
+// Dial connects to a server. The context bounds the dial only; per-call
+// deadlines come from Do's context.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dialing %s: %w", governor.ErrBadWire, addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (tests use net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Broken reports whether a torn round trip desynced the stream; a broken
+// client fails every further Do and should be discarded.
+func (c *Client) Broken() bool { return c.broken }
+
+// deadline computes the round trip's absolute deadline: the context's, if
+// set, else now + OpTimeout.
+func (c *Client) deadline(ctx context.Context) time.Time {
+	if d, ok := ctx.Deadline(); ok {
+		return d
+	}
+	op := c.OpTimeout
+	if op <= 0 {
+		op = DefaultOpTimeout
+	}
+	return time.Now().Add(op)
+}
+
+// Do performs one request/response round trip. The context's deadline is
+// propagated two ways: it bounds the local socket I/O, and (unless the
+// request already carries one) it is sent as the request's DeadlineMillis
+// so the server's admission queue, planner, and executor run under the
+// same budget. A response carrying a wire Error is returned as a
+// *RemoteError (typed: errors.Is against the els sentinels works);
+// transport failures match governor.ErrBadWire and break the client —
+// subsequent calls fail fast, because a torn round trip may leave an
+// unread response in the stream.
+func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+	if c.broken {
+		return nil, fmt.Errorf("%w: connection broken by an earlier torn round trip", governor.ErrBadWire)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", governor.ErrCanceled, err)
+	}
+	c.nextID++
+	req.ID = c.nextID
+	dl := c.deadline(ctx)
+	if req.DeadlineMillis == 0 {
+		if remain := time.Until(dl); remain > 0 {
+			req.DeadlineMillis = remain.Milliseconds() + 1 // round up: never send 0 for a live deadline
+		}
+	}
+	payload, err := EncodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.conn.SetDeadline(dl); err != nil {
+		c.broken = true
+		return nil, fmt.Errorf("%w: arming deadline: %w", governor.ErrBadWire, err)
+	}
+	if err := WriteFrame(c.conn, payload); err != nil {
+		c.broken = true
+		return nil, c.transportErr(ctx, err)
+	}
+	raw, err := ReadFrame(c.br, c.MaxFrame)
+	if err != nil {
+		c.broken = true
+		if err == io.EOF {
+			return nil, fmt.Errorf("%w: server closed the connection", governor.ErrBadWire)
+		}
+		return nil, c.transportErr(ctx, err)
+	}
+	resp, err := DecodeResponse(raw)
+	if err != nil {
+		c.broken = true
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		c.broken = true
+		return nil, fmt.Errorf("%w: response id %d for request id %d (stream desynced)",
+			governor.ErrBadWire, resp.ID, req.ID)
+	}
+	if resp.Err != nil {
+		return resp, &RemoteError{Wire: *resp.Err}
+	}
+	return resp, nil
+}
+
+// transportErr classifies a socket failure: a deadline that fired because
+// the caller's context expired is the caller's cancellation, not a wire
+// fault.
+func (c *Client) transportErr(ctx context.Context, err error) error {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("%w: %w", governor.ErrCanceled, cerr)
+		}
+		return fmt.Errorf("%w: round trip timed out: %w", governor.ErrBadWire, err)
+	}
+	return err
+}

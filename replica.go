@@ -277,6 +277,20 @@ func (s *System) AttachReplica(r *Replica) error {
 	r.mu.Unlock()
 
 	s.shipMu.Lock()
+	// The closing check lives under shipMu so it orders against Close's
+	// shipper teardown: an attach that observes closing fails fast with
+	// the typed drain error; one that raced just ahead of Close installs
+	// its shipper before the teardown acquires shipMu, so Close still
+	// finds and stops it — either way nothing leaks and nothing blocks.
+	if s.closing.Load() {
+		s.shipMu.Unlock()
+		r.mu.Lock()
+		if r.attached == s {
+			r.attached = nil
+		}
+		r.mu.Unlock()
+		return fmt.Errorf("%w: draining, not attaching replicas", ErrClosed)
+	}
 	if s.shipper == nil {
 		s.shipper = replica.NewShipper(func() (*catalog.Catalog, uint64) {
 			snap := s.store.Current()

@@ -1,0 +1,42 @@
+package els_test
+
+import (
+	"fmt"
+	"testing"
+
+	els "repro"
+)
+
+// Retryable is the single classification shared by the in-process retry
+// loop, the database/sql driver, and the wire server's retryable flag:
+// transient internal errors, load-dependent overload sheds, and
+// stale-replica rejections retry; everything deterministic or sticky does
+// not.
+func TestRetryablePredicate(t *testing.T) {
+	retry := []error{els.ErrInternal, els.ErrOverloaded, els.ErrStaleReplica}
+	never := []error{
+		els.ErrParse, els.ErrBadStats, els.ErrCanceled, els.ErrBudgetExceeded,
+		els.ErrClosed, els.ErrDurability, els.ErrDiverged, els.ErrBadWire, els.ErrTenant,
+	}
+	for _, err := range retry {
+		if !els.Retryable(err) {
+			t.Errorf("Retryable(%v) = false, want true", err)
+		}
+		// Wrapping preserves the classification.
+		if !els.Retryable(fmt.Errorf("outer: %w", err)) {
+			t.Errorf("Retryable(wrapped %v) = false, want true", err)
+		}
+	}
+	for _, err := range never {
+		if els.Retryable(err) {
+			t.Errorf("Retryable(%v) = true, want false", err)
+		}
+	}
+	if els.Retryable(nil) {
+		t.Error("Retryable(nil) = true")
+	}
+	// A structured tenant error (quarantine) is sticky until restart.
+	if els.Retryable(&els.TenantError{Tenant: "x", Reason: "quarantined", Quarantined: true}) {
+		t.Error("Retryable(quarantine) = true, want false")
+	}
+}

@@ -1,6 +1,7 @@
 package els
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 
@@ -52,7 +53,27 @@ var (
 	ErrDurability     = governor.ErrDurability
 	ErrStaleReplica   = governor.ErrStaleReplica
 	ErrDiverged       = governor.ErrDiverged
+	ErrBadWire        = governor.ErrBadWire
+	ErrTenant         = governor.ErrTenant
 )
+
+// Retryable reports whether err names a failure worth retrying: internal
+// errors (ErrInternal — this attempt hit a bug or injected fault, the next
+// may not), overload sheds (ErrOverloaded — a property of the system's
+// load at that instant, not of the query), and stale-replica rejections
+// (ErrStaleReplica — replicas catch up). Parse errors, bad statistics,
+// cancellation, budget exhaustion, closed systems, durability freezes,
+// divergence quarantines, and tenant quarantines are deterministic for the
+// same submission and never retry.
+//
+// Retryable is the single classification shared by the in-process retry
+// loop (SetRetryPolicy), the database/sql driver's resubmission policy,
+// and wire responses' retryable flag, so every layer agrees on what "try
+// again" means.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrInternal) || errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrStaleReplica)
+}
 
 // Limits configures per-query resource budgets, the intra-query
 // parallelism degree (Limits.Workers; 0 = GOMAXPROCS, 1 = serial — results
@@ -78,6 +99,11 @@ type StaleReplicaError = governor.StaleReplicaError
 // DivergenceError details a failed replica digest audit: which replica,
 // at which catalog version, and the hex SHA-256 digests that disagreed.
 type DivergenceError = governor.DivergenceError
+
+// TenantError details a request a multi-tenant server (cmd/elsserve)
+// refused to route: which tenant it addressed, why it was unavailable, and
+// whether a bulkhead quarantine (rather than absence) is the cause.
+type TenantError = governor.TenantError
 
 // SetLimits installs default resource limits applied to every subsequent
 // query on this system (each call gets a fresh budget), and reconfigures

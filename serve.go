@@ -2,7 +2,6 @@ package els
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -63,6 +62,26 @@ func (s *System) retryPolicy() RetryPolicy {
 // breaker. Installing a policy resets the breaker to closed.
 func (s *System) SetBreaker(p BreakerPolicy) {
 	s.breaker.SetConfig(p)
+}
+
+// SetAdmissionObserver installs (or, with nil, removes) a callback invoked
+// with every admitted query's queue wait, at admission time. Serving
+// layers above the library (the wire server) use it to build wait
+// distributions — p99 admission wait is an SLO — without polling
+// cumulative counters. The callback runs on the query's serving goroutine
+// before the query starts, so it must be fast and must not call back into
+// the System.
+func (s *System) SetAdmissionObserver(obs func(wait time.Duration)) {
+	s.mu.Lock()
+	s.admObs = obs
+	s.mu.Unlock()
+}
+
+// admissionObserver returns the installed observer, or nil.
+func (s *System) admissionObserver() func(time.Duration) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.admObs
 }
 
 // RobustnessStats is a point-in-time snapshot of the serving layer's
@@ -126,9 +145,14 @@ func (s *System) RobustnessStats() RobustnessStats {
 // by reopening the directory. Close is idempotent and returns ctx.Err()
 // when the drain deadline was hit, nil on a fully graceful drain.
 func (s *System) Close(ctx context.Context) error {
+	// Refuse AttachReplica and Checkpoint for the whole drain window
+	// before stopping admission: both touch the shipper and the WAL that
+	// this function is about to tear down.
+	s.closing.Store(true)
 	err := s.adm.Close(ctx)
 	s.shipMu.Lock()
 	sh := s.shipper
+	s.shipper = nil
 	s.shipMu.Unlock()
 	if sh != nil {
 		// Stop shipping before the WAL closes: link workers drain and
@@ -165,6 +189,9 @@ func (s *System) serve(ctx context.Context, fn func(gov *governor.Governor, snap
 		return err
 	}
 	defer slot.Release()
+	if obs := s.admissionObserver(); obs != nil {
+		obs(slot.Waited())
+	}
 	if err := s.breaker.Allow(); err != nil {
 		return err
 	}
@@ -190,7 +217,7 @@ func (s *System) attempts(slot *admission.Slot, fn func(gov *governor.Governor, 
 			}
 			return nil
 		}
-		if !retryable(err) || attempt >= policy.MaxAttempts {
+		if !Retryable(err) || attempt >= policy.MaxAttempts {
 			return err
 		}
 		s.retries.Add(1)
@@ -232,14 +259,16 @@ func (s *System) replicaGate(snap **snapshot.Snapshot) error {
 	return nil
 }
 
-// retryable reports whether the retry policy may fire on err: internal
-// errors (transient by definition) and stale-replica rejections (replicas
-// catch up; each retry re-pins the freshest replayed version). ErrParse,
-// ErrBadStats, ErrCanceled, ErrBudgetExceeded, ErrOverloaded, ErrClosed,
-// and ErrDiverged (sticky until resync) never retry.
-func retryable(err error) bool {
-	return errors.Is(err, ErrInternal) || errors.Is(err, ErrStaleReplica)
-}
+// The retry loop fires on exactly the failures the public Retryable
+// predicate names (robust.go): internal errors (transient by definition),
+// overload sheds (load-dependent), and stale-replica rejections (replicas
+// catch up; each retry re-pins the freshest replayed version). Inside the
+// loop only the internal and stale classes can actually occur — admission
+// happens before the loop, so an in-slot attempt never sheds — but using
+// the shared predicate keeps the in-process loop, the database/sql
+// driver, and the wire server's retryable flag classifying identically.
+// ErrParse, ErrBadStats, ErrCanceled, ErrBudgetExceeded, ErrClosed, and
+// ErrDiverged (sticky until resync) never retry.
 
 // backoff sleeps the capped, jittered exponential delay before retry
 // number attempt, aborting early (with a taxonomy error) if the serving
