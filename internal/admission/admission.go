@@ -75,7 +75,8 @@ type Slot struct {
 	id       uint64
 	waited   time.Duration
 	released bool
-	mu       sync.Mutex
+	//lockorder:level 32
+	mu sync.Mutex
 }
 
 // Context is the query's serving context: the caller's context wrapped
@@ -109,6 +110,7 @@ type waiter struct {
 // Controller is the admission gate of one system. The zero Controller is
 // not ready; use New.
 type Controller struct {
+	//lockorder:level 30
 	mu       sync.Mutex
 	cfg      Config
 	inflight int

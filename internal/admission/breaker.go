@@ -68,6 +68,7 @@ type BreakerStats struct {
 // Breaker is a consecutive-internal-error circuit breaker. A nil *Breaker
 // is valid and always allows.
 type Breaker struct {
+	//lockorder:level 34
 	mu          sync.Mutex
 	cfg         BreakerConfig
 	state       BreakerState

@@ -3,12 +3,17 @@
 // elslint invariant checkers (internal/analyzers) and their analysistest
 // suites without adding a module dependency.
 //
-// The shapes mirror x/tools deliberately — Analyzer{Name, Doc, Run},
-// Pass{Fset, Files, Pkg, TypesInfo, Report} — so every analyzer written
-// against this package ports to the real go/analysis API verbatim if the
-// dependency is ever vendored. Facts, analyzer requirements, and result
-// passing are intentionally omitted: the elslint suite is five independent
-// single-package checkers.
+// The shapes mirror x/tools deliberately — Analyzer{Name, Doc, Requires,
+// FactTypes, Run}, Pass{Fset, Files, Pkg, TypesInfo, ResultOf, Report,
+// ExportObjectFact, ImportObjectFact, ExportPackageFact,
+// ImportPackageFact} — so every analyzer written against this package
+// ports to the real go/analysis API near-verbatim if the dependency is
+// ever vendored. The driver (RunPackages) applies a Requires-ordered
+// analyzer schedule to packages in `go list` dependency order, with
+// gob-serialized facts flowing from each package to its dependents; see
+// facts.go for the one deliberate deviation from x/tools (facts are
+// namespaced by type, not by analyzer, so a dependent analyzer can read
+// its prerequisite's facts).
 package analysis
 
 import (
@@ -25,6 +30,15 @@ type Analyzer struct {
 	Name string
 	// Doc states the enforced invariant, first line first.
 	Doc string
+	// Requires lists analyzers that must run on each package before this
+	// one; their results for the same package arrive via Pass.ResultOf and
+	// their facts (for this package's dependencies) are importable. The
+	// driver schedules the transitive closure and rejects cycles.
+	Requires []*Analyzer
+	// FactTypes declares the fact types this analyzer exports, each a
+	// pointer to a gob-serializable struct. An analyzer with no declared
+	// fact types may still import facts declared by its Requires.
+	FactTypes []Fact
 	// Run applies the analyzer to one package. It reports findings through
 	// Pass.Report/Reportf and returns an error only for analyzer
 	// malfunctions, never for findings.
@@ -43,13 +57,82 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds the type-checking results for Files.
 	TypesInfo *types.Info
+	// ResultOf holds the results the Analyzer.Requires analyzers returned
+	// for this same package.
+	ResultOf map[*Analyzer]any
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+
+	facts *FactSet
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the package
+// being analyzed. The fact is gob-encoded immediately; a non-serializable
+// fact panics here (the driver converts the panic into an analyzer
+// malfunction) rather than corrupting a vetx file later.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		panic(fmt.Sprintf("%s: ExportObjectFact outside a facts-capable driver run", p.Analyzer.Name))
+	}
+	if obj == nil || obj.Pkg() == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("%s: ExportObjectFact: object %v is not from package %s", p.Analyzer.Name, obj, p.Pkg.Path()))
+	}
+	if err := p.facts.export(p.Pkg.Path(), ObjectKey(obj), fact); err != nil {
+		panic(fmt.Sprintf("%s: %v", p.Analyzer.Name, err))
+	}
+}
+
+// ImportObjectFact decodes the fact of fact's type attached to obj (by
+// this package's run or by any dependency's) into fact, reporting whether
+// one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	ok, err := p.facts.importInto(obj.Pkg().Path(), ObjectKey(obj), fact)
+	if err != nil {
+		panic(fmt.Sprintf("%s: %v", p.Analyzer.Name, err))
+	}
+	return ok
+}
+
+// ExportPackageFact attaches fact to the package being analyzed.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		panic(fmt.Sprintf("%s: ExportPackageFact outside a facts-capable driver run", p.Analyzer.Name))
+	}
+	if err := p.facts.export(p.Pkg.Path(), "", fact); err != nil {
+		panic(fmt.Sprintf("%s: %v", p.Analyzer.Name, err))
+	}
+}
+
+// ImportPackageFact decodes the package-level fact of fact's type
+// exported by pkg into fact, reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.facts == nil || pkg == nil {
+		return false
+	}
+	ok, err := p.facts.importInto(pkg.Path(), "", fact)
+	if err != nil {
+		panic(fmt.Sprintf("%s: %v", p.Analyzer.Name, err))
+	}
+	return ok
+}
+
+// AllPackageFacts returns every package-level fact currently in the fact
+// database (this package's and all previously analyzed packages'), in
+// deterministic order. The lockorder analyzer assembles the global
+// lock-acquisition graph from these.
+func (p *Pass) AllPackageFacts() []PackageFact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.AllPackageFacts()
 }
 
 // Diagnostic is one finding.

@@ -192,19 +192,38 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return out, nil
 }
 
-// Run applies one analyzer to one package and returns its diagnostics.
+// Run applies one analyzer to one package in isolation — no Requires, no
+// facts — and returns its diagnostics. The facts-capable entry point is
+// RunPackages; this survives for one-off programmatic use of a
+// self-contained checker.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	pass := &Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.Info,
-		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	if len(a.Requires) > 0 {
+		return nil, fmt.Errorf("%s requires other analyzers; use RunPackages", a.Name)
 	}
-	if _, err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+	findings, mals, err := RunPackages([]*Package{pkg}, []*Analyzer{a}, NewFactSet([]*Analyzer{a}))
+	if err != nil {
+		return nil, err
+	}
+	if len(mals) > 0 {
+		return nil, fmt.Errorf("%s: %s: %s", mals[0].Analyzer, mals[0].Package, mals[0].Err)
+	}
+	var diags []Diagnostic
+	for _, f := range findings {
+		diags = append(diags, Diagnostic{Pos: posOf(pkg.Fset, f.Pos), Message: f.Message})
 	}
 	return diags, nil
+}
+
+// posOf maps a resolved position back to a token.Pos in fset (best
+// effort; diagnostics keep their resolved file:line either way).
+func posOf(fset *token.FileSet, pos token.Position) token.Pos {
+	var found token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		if f.Name() == pos.Filename && pos.Offset < f.Size() {
+			found = f.Pos(pos.Offset)
+			return false
+		}
+		return true
+	})
+	return found
 }

@@ -11,11 +11,16 @@ import (
 	"repro/internal/analyzers/ctxflow"
 	"repro/internal/analyzers/errtaxonomy"
 	"repro/internal/analyzers/governorcharge"
+	"repro/internal/analyzers/lockorder"
+	"repro/internal/analyzers/locksafe"
 	"repro/internal/analyzers/nakedgoroutine"
 	"repro/internal/analyzers/snapshotmut"
+	"repro/internal/analyzers/wirecover"
 )
 
-// All returns the elslint analyzers in reporting order.
+// All returns the elslint analyzers in reporting order. The list is the
+// root set handed to analysis.Schedule — prerequisites (wirecover
+// requires errtaxonomy) are deduplicated and ordered by the driver.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		errtaxonomy.Analyzer,
@@ -24,5 +29,8 @@ func All() []*analysis.Analyzer {
 		snapshotmut.Analyzer,
 		governorcharge.Analyzer,
 		atomicwrite.Analyzer,
+		lockorder.Analyzer,
+		locksafe.Analyzer,
+		wirecover.Analyzer,
 	}
 }

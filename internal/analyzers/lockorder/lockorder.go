@@ -1,0 +1,873 @@
+// Package lockorder proves deadlock-freedom of the serving tree's mutex
+// usage, offline: every function exports a gob-serialized fact summarizing
+// which named locks it may acquire (directly or through its callees), the
+// driver threads those facts across packages in dependency order, and each
+// package contributes its acquisition edges — "lock A was held while lock
+// B was acquired" — to a global lock-acquisition graph. The analyzer
+// reports
+//
+//   - any cycle in the global graph, with the full witness chain (which
+//     function, at which line, acquires which lock while holding which) —
+//     a potential deadlock of the close_race kind PR 8 had to fix after a
+//     chaos soak caught it at runtime;
+//   - any acquisition that contradicts the declared canonical hierarchy:
+//     every mutex declaration carries a `//lockorder:level N` annotation
+//     (DESIGN.md §12 holds the canonical table), and a lock may only be
+//     acquired while the locks already held all have strictly lower
+//     levels;
+//   - any mutex declaration missing its level annotation, so the
+//     hierarchy stays total as the tree grows.
+//
+// Escapes: `//lockorder:allow <reason>` on an acquisition or call site
+// accepts that site's orderings (they leave the cycle and hierarchy
+// checks), and `//lockorder:edge FROM TO` declares an ordering the
+// analyzer cannot see statically — a callback invoked under a lock —
+// so it still participates in cycle detection.
+//
+// The analysis is intentionally approximate in the usual ways: calls
+// through function values are not resolved (declare them with
+// //lockorder:edge where they matter), goroutine bodies contribute their
+// own internal edges but do not extend their spawner's held set, and
+// held-set tracking is lexical (branch bodies are walked with a copy of
+// the held set). Unsound corners are accepted; the point is that every
+// ordering the analyzer can see is machine-checked on every commit
+// instead of rediscovered by chaos soaks.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analyzers/locknames"
+)
+
+// Analyzer builds the global lock-acquisition graph and enforces
+// deadlock-freedom and the declared lock hierarchy.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "lock acquisitions must be acyclic across packages and respect the declared //lockorder:level hierarchy",
+	FactTypes: []analysis.Fact{new(FuncFact), new(GraphFact)},
+	Run:       run,
+}
+
+// FuncFact summarizes the named locks a function may acquire, directly or
+// transitively through the static calls in its body.
+type FuncFact struct {
+	// Acquires lists canonical lock names, sorted.
+	Acquires []string
+}
+
+// AFact marks FuncFact as a fact type.
+func (*FuncFact) AFact() {}
+
+// GraphFact is one package's contribution to the global lock-acquisition
+// graph: its declared locks (with hierarchy levels) and its edges.
+type GraphFact struct {
+	// Locks are the mutexes declared in this package.
+	Locks []LockDecl
+	// Edges are the acquired-while-held orderings witnessed in this
+	// package.
+	Edges []Edge
+}
+
+// AFact marks GraphFact as a fact type.
+func (*GraphFact) AFact() {}
+
+// LockDecl names one declared mutex and its canonical hierarchy level.
+type LockDecl struct {
+	// Name is the canonical lock name (pkg.Type.field or pkg.var).
+	Name string
+	// Level is the declared //lockorder:level; lower levels are acquired
+	// first. Undeclared locks carry Level -1 and are exempt from the
+	// hierarchy check (but not from cycle detection).
+	Level int
+}
+
+// Edge records that From was held while To was acquired.
+type Edge struct {
+	// From and To are canonical lock names.
+	From, To string
+	// Fn is the witnessing function.
+	Fn string
+	// Pos is the witnessing site, file:line.
+	Pos string
+	// Allowed marks edges every witness of which carries
+	// //lockorder:allow; they are excluded from cycle and hierarchy
+	// checks but still drawn (dashed) in the DOT artifact.
+	Allowed bool
+}
+
+// acqSite is one lock acquisition with the held-set context it happened
+// under.
+type acqSite struct {
+	lock    string
+	held    []string
+	pos     token.Pos
+	allowed bool
+}
+
+// callSite is one statically resolvable call with held-set context.
+type callSite struct {
+	callee  types.Object
+	held    []string
+	pos     token.Pos
+	allowed bool
+	async   bool // go statement: callee does not run under the held set
+}
+
+// fnInfo is the per-function analysis state.
+type fnInfo struct {
+	name     string // analysis.ObjectKey form
+	obj      types.Object
+	acquires []acqSite
+	calls    []callSite
+	trans    map[string]bool // fixpoint: locks this function may acquire
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := locknames.CollectDirectives(pass.Fset, pass.Files)
+
+	decls := collectLockDecls(pass, dirs)
+	fns := collectFuncs(pass, dirs)
+	resolveTransitive(pass, fns)
+
+	// Export the per-function summaries for dependent packages.
+	for _, fn := range fns {
+		if len(fn.trans) == 0 || fn.obj == nil {
+			continue
+		}
+		fact := &FuncFact{Acquires: sortedKeys(fn.trans)}
+		pass.ExportObjectFact(fn.obj, fact)
+	}
+
+	edges := buildEdges(pass, fns, dirs)
+
+	// The global graph: every edge exported by already-analyzed packages
+	// (dependencies always included; under the standalone driver,
+	// previously analyzed siblings too — lock names are global
+	// identities, so their edges compose) plus this package's.
+	levels := make(map[string]int)
+	global := make(map[string]map[string]witness) // from -> to -> first witness
+	addEdge := func(e Edge) {
+		if e.Allowed {
+			return
+		}
+		m := global[e.From]
+		if m == nil {
+			m = make(map[string]witness)
+			global[e.From] = m
+		}
+		if _, ok := m[e.To]; !ok {
+			m[e.To] = witness{e.Fn, e.Pos}
+		}
+	}
+	for _, pf := range pass.AllPackageFacts() {
+		gf, ok := pf.Fact.(*GraphFact)
+		if !ok || pf.Path == pass.Pkg.Path() {
+			continue
+		}
+		for _, d := range gf.Locks {
+			if d.Level >= 0 {
+				levels[d.Name] = d.Level
+			}
+		}
+		for _, e := range gf.Edges {
+			addEdge(e)
+		}
+	}
+	for _, d := range decls {
+		if d.Level >= 0 {
+			levels[d.Name] = d.Level
+		}
+	}
+	for _, e := range edges {
+		addEdge(e.Edge)
+	}
+
+	// Hierarchy: every new edge must go strictly up the declared levels.
+	for _, e := range edges {
+		if e.Allowed {
+			continue
+		}
+		if e.From == e.To {
+			pass.Reportf(e.pos, "lock %s may be acquired while already held (via %s); sync.Mutex does not re-enter — restructure or annotate //lockorder:allow with the aliasing argument", e.From, e.Fn)
+			continue
+		}
+		lf, fok := levels[e.From]
+		lt, tok := levels[e.To]
+		if fok && tok && lf >= lt {
+			pass.Reportf(e.pos, "lock order violation: %s (level %d) is held while acquiring %s (level %d); the canonical hierarchy (DESIGN.md §12) requires strictly increasing levels — reorder the acquisitions, change the declared levels, or annotate //lockorder:allow", e.From, lf, e.To, lt)
+		}
+	}
+
+	// Cycles: a new edge u->v closes a potential deadlock if v reaches u
+	// in the global graph. Each distinct cycle is reported once per
+	// package, at the closing edge.
+	reported := make(map[string]bool)
+	for _, e := range edges {
+		if e.Allowed || e.From == e.To {
+			continue
+		}
+		path := shortestPath(global, e.To, e.From)
+		if path == nil {
+			continue
+		}
+		cycle := append([]string{e.From, e.To}, path[1:]...)
+		sig := cycleSignature(cycle)
+		if reported[sig] {
+			continue
+		}
+		reported[sig] = true
+		var chain strings.Builder
+		fmt.Fprintf(&chain, "[%s -> %s: %s at %s]", e.From, e.To, e.Fn, e.Pos)
+		for i := 0; i+1 < len(path); i++ {
+			w := global[path[i]][path[i+1]]
+			fmt.Fprintf(&chain, " [%s -> %s: %s at %s]", path[i], path[i+1], w.fn, w.pos)
+		}
+		pass.Reportf(e.pos, "potential deadlock: lock-acquisition cycle %s; witness chain %s; break one edge or annotate //lockorder:allow with the exclusion argument",
+			strings.Join(cycle, " -> "), chain.String())
+	}
+
+	sort.Slice(decls, func(i, j int) bool { return decls[i].Name < decls[j].Name })
+	exported := make([]Edge, len(edges))
+	for i, e := range edges {
+		exported[i] = e.Edge
+	}
+	pass.ExportPackageFact(&GraphFact{Locks: decls, Edges: exported})
+	return nil, nil
+}
+
+// collectLockDecls finds every declared mutex (struct fields and
+// package-level vars, non-test files), resolves its //lockorder:level,
+// and reports declarations that omit one.
+func collectLockDecls(pass *analysis.Pass, dirs *locknames.Directives) []LockDecl {
+	var decls []LockDecl
+	pkgPath := pass.Pkg.Path()
+	add := func(name string, pos token.Pos) {
+		level, ok := dirs.Level(pos)
+		if !ok {
+			level = -1
+			pass.Reportf(pos, "mutex %s declares no place in the lock hierarchy; annotate the declaration with //lockorder:level N (canonical table: DESIGN.md §12)", name)
+		}
+		decls = append(decls, LockDecl{Name: name, Level: level})
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := sp.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						tv, ok := pass.TypesInfo.Types[field.Type]
+						if !ok || !locknames.IsLockType(tv.Type) {
+							continue
+						}
+						if len(field.Names) == 0 { // embedded sync.Mutex
+							add(pkgPath+"."+sp.Name.Name+".Mutex", field.Pos())
+							continue
+						}
+						for _, name := range field.Names {
+							add(pkgPath+"."+sp.Name.Name+"."+name.Name, name.Pos())
+						}
+					}
+				case *ast.ValueSpec:
+					if gd.Tok != token.VAR {
+						continue
+					}
+					for _, name := range sp.Names {
+						obj, ok := pass.TypesInfo.Defs[name]
+						if !ok || obj == nil || !locknames.IsLockType(obj.Type()) {
+							continue
+						}
+						if obj.Parent() == pass.Pkg.Scope() {
+							add(pkgPath+"."+name.Name, name.Pos())
+						}
+					}
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// collectFuncs walks every function body, tracking the held set lexically
+// and recording acquisitions and static calls with their context.
+func collectFuncs(pass *analysis.Pass, dirs *locknames.Directives) []*fnInfo {
+	var fns []*fnInfo
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			info := &fnInfo{obj: obj}
+			if obj != nil {
+				info.name = analysis.ObjectKey(obj)
+			} else {
+				info.name = fd.Name.Name
+			}
+			w := &walker{pass: pass, dirs: dirs, fn: info}
+			w.stmts(fd.Body.List, &[]string{})
+			fns = append(fns, info)
+		}
+	}
+	return fns
+}
+
+// walker performs the lexical held-set walk of one function (and its
+// synchronously executed function literals).
+type walker struct {
+	pass *analysis.Pass
+	dirs *locknames.Directives
+	fn   *fnInfo
+}
+
+func cloneHeld(held []string) *[]string {
+	cp := append([]string(nil), held...)
+	return &cp
+}
+
+func (w *walker) stmts(list []ast.Stmt, held *[]string) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, held *[]string) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.expr(st.X, held, false)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.expr(e, held, false)
+		}
+		for _, e := range st.Lhs {
+			w.expr(e, held, false)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held, false)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.expr(e, held, false)
+		}
+	case *ast.IfStmt:
+		w.stmt(st.Init, held)
+		w.expr(st.Cond, held, false)
+		w.stmts(st.Body.List, cloneHeld(*held))
+		if st.Else != nil {
+			w.stmt(st.Else, cloneHeld(*held))
+		}
+	case *ast.ForStmt:
+		w.stmt(st.Init, held)
+		if st.Cond != nil {
+			w.expr(st.Cond, held, false)
+		}
+		body := cloneHeld(*held)
+		w.stmts(st.Body.List, body)
+		w.stmt(st.Post, body)
+	case *ast.RangeStmt:
+		w.expr(st.X, held, false)
+		w.stmts(st.Body.List, cloneHeld(*held))
+	case *ast.SwitchStmt:
+		w.stmt(st.Init, held)
+		if st.Tag != nil {
+			w.expr(st.Tag, held, false)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, cloneHeld(*held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(st.Init, held)
+		w.stmt(st.Assign, held)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, cloneHeld(*held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmt(cc.Comm, cloneHeld(*held))
+				w.stmts(cc.Body, cloneHeld(*held))
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(st.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, held)
+	case *ast.DeferStmt:
+		// A deferred unlock releases at return; for ordering purposes the
+		// lock stays held for the remainder of the body, so the held set
+		// is left untouched. Other deferred calls are treated as calls
+		// under the current held set (an approximation of the set at
+		// return time).
+		if op, lockExpr := locknames.Classify(w.pass.TypesInfo, st.Call); op.Release() {
+			_ = lockExpr
+			return
+		}
+		w.expr(st.Call, held, false)
+	case *ast.GoStmt:
+		// The goroutine does not run under the spawner's held locks; its
+		// body is walked with an empty held set and its acquisitions are
+		// excluded from the spawner's summary.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.funcLit(lit, true)
+		} else {
+			w.call(st.Call, &[]string{}, true)
+		}
+		for _, arg := range st.Call.Args {
+			w.expr(arg, held, false)
+		}
+	case *ast.SendStmt:
+		w.expr(st.Chan, held, false)
+		w.expr(st.Value, held, false)
+	case *ast.IncDecStmt:
+		w.expr(st.X, held, false)
+	}
+}
+
+// expr walks one expression, updating the held set through lock calls and
+// recording call sites.
+func (w *walker) expr(e ast.Expr, held *[]string, async bool) {
+	switch ex := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		w.call(ex, held, async)
+	case *ast.FuncLit:
+		w.funcLit(ex, false)
+	case *ast.ParenExpr:
+		w.expr(ex.X, held, async)
+	case *ast.UnaryExpr:
+		w.expr(ex.X, held, async)
+	case *ast.BinaryExpr:
+		w.expr(ex.X, held, async)
+		w.expr(ex.Y, held, async)
+	case *ast.SelectorExpr:
+		w.expr(ex.X, held, async)
+	case *ast.IndexExpr:
+		w.expr(ex.X, held, async)
+		w.expr(ex.Index, held, async)
+	case *ast.SliceExpr:
+		w.expr(ex.X, held, async)
+	case *ast.StarExpr:
+		w.expr(ex.X, held, async)
+	case *ast.TypeAssertExpr:
+		w.expr(ex.X, held, async)
+	case *ast.CompositeLit:
+		for _, el := range ex.Elts {
+			w.expr(el, held, async)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(ex.Value, held, async)
+	}
+}
+
+// call handles one call expression: a lock op mutates the held set, any
+// other statically resolvable call is recorded with its context.
+func (w *walker) call(call *ast.CallExpr, held *[]string, async bool) {
+	op, lockExpr := locknames.Classify(w.pass.TypesInfo, call)
+	switch {
+	case op.Acquire():
+		if name, ok := locknames.Name(w.pass.TypesInfo, lockExpr, w.fn.name); ok {
+			w.fn.acquires = append(w.fn.acquires, acqSite{
+				lock:    name,
+				held:    append([]string(nil), *held...),
+				pos:     call.Pos(),
+				allowed: w.dirs.Allowed(call.Pos(), "lockorder"),
+			})
+			if !async {
+				*held = append(*held, name)
+			}
+		}
+		return
+	case op.Release():
+		if name, ok := locknames.Name(w.pass.TypesInfo, lockExpr, w.fn.name); ok {
+			for i := len(*held) - 1; i >= 0; i-- {
+				if (*held)[i] == name {
+					*held = append((*held)[:i], (*held)[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	if callee := calleeObject(w.pass.TypesInfo, call); callee != nil {
+		w.fn.calls = append(w.fn.calls, callSite{
+			callee:  callee,
+			held:    append([]string(nil), *held...),
+			pos:     call.Pos(),
+			allowed: w.dirs.Allowed(call.Pos(), "lockorder"),
+			async:   async,
+		})
+	}
+	w.expr(call.Fun, held, async)
+	for _, arg := range call.Args {
+		w.expr(arg, held, async)
+	}
+}
+
+// funcLit walks a function literal. Literals may be invoked synchronously
+// by whoever receives them (Store.Locked style), so their acquisitions
+// join the enclosing function's summary unless the literal is a goroutine
+// body.
+func (w *walker) funcLit(lit *ast.FuncLit, async bool) {
+	inner := &walker{pass: w.pass, dirs: w.dirs, fn: w.fn}
+	if async {
+		// Record into a throwaway fnInfo for edge generation only: the
+		// goroutine's internal orderings are real, but its acquisitions
+		// must not leak into the spawner's transitive summary.
+		shadow := &fnInfo{name: w.fn.name + ".go"}
+		inner.fn = shadow
+		inner.stmts(lit.Body.List, &[]string{})
+		w.fn.acquires = append(w.fn.acquires, markAsync(shadow.acquires)...)
+		for _, c := range shadow.calls {
+			c.async = true
+			w.fn.calls = append(w.fn.calls, c)
+		}
+		return
+	}
+	inner.stmts(lit.Body.List, &[]string{})
+}
+
+// markAsync rewrites goroutine-body acquisitions so they contribute edges
+// (their held context is real within the goroutine) but are recognizable
+// as not-on-the-spawner's-stack by the summary fixpoint, which consults
+// fnInfo.acquires through asyncAcquire.
+func markAsync(sites []acqSite) []acqSite {
+	out := make([]acqSite, len(sites))
+	for i, s := range sites {
+		s.pos = -s.pos // negative pos marks async; normalized on use
+		out[i] = s
+	}
+	return out
+}
+
+// asyncAcquire reports (and undoes) the async marker.
+func asyncAcquire(s acqSite) (acqSite, bool) {
+	if s.pos < 0 {
+		s.pos = -s.pos
+		return s, true
+	}
+	return s, false
+}
+
+// calleeObject resolves the called function's object for static calls:
+// plain functions, package-qualified functions, and methods.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// resolveTransitive runs the intra-package fixpoint: each function's
+// transitive acquire set is its direct acquisitions plus the sets of its
+// same-package callees (iterated to fixpoint) plus the imported FuncFact
+// summaries of cross-package callees (already final, by dependency
+// order).
+func resolveTransitive(pass *analysis.Pass, fns []*fnInfo) {
+	local := make(map[types.Object]*fnInfo, len(fns))
+	for _, fn := range fns {
+		fn.trans = make(map[string]bool)
+		for _, a := range fn.acquires {
+			if _, async := asyncAcquire(a); !async {
+				fn.trans[a.lock] = true
+			}
+		}
+		if fn.obj != nil {
+			local[fn.obj] = fn
+		}
+	}
+	// Seed cross-package callee summaries once; they cannot change during
+	// the local fixpoint.
+	imported := make(map[types.Object][]string)
+	for _, fn := range fns {
+		for _, c := range fn.calls {
+			if c.async {
+				continue
+			}
+			if _, ok := local[c.callee]; ok {
+				continue
+			}
+			if _, ok := imported[c.callee]; ok {
+				continue
+			}
+			var fact FuncFact
+			if pass.ImportObjectFact(c.callee, &fact) {
+				imported[c.callee] = fact.Acquires
+			} else {
+				imported[c.callee] = nil
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			for _, c := range fn.calls {
+				if c.async {
+					continue
+				}
+				var acquires []string
+				if callee, ok := local[c.callee]; ok {
+					acquires = sortedKeys(callee.trans)
+				} else {
+					acquires = imported[c.callee]
+				}
+				for _, lock := range acquires {
+					if !fn.trans[lock] {
+						fn.trans[lock] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// localEdge pairs a serializable Edge with its in-process report
+// position.
+type localEdge struct {
+	Edge
+	pos token.Pos
+}
+
+// buildEdges derives this package's contribution to the global graph:
+// direct acquisition edges, call edges through transitive summaries, and
+// manual //lockorder:edge declarations. Edges are deduplicated by
+// (From, To); an edge is Allowed only if every witness is.
+func buildEdges(pass *analysis.Pass, fns []*fnInfo, dirs *locknames.Directives) []localEdge {
+	local := make(map[types.Object]*fnInfo, len(fns))
+	for _, fn := range fns {
+		if fn.obj != nil {
+			local[fn.obj] = fn
+		}
+	}
+	posStr := func(pos token.Pos) string {
+		p := pass.Fset.Position(pos)
+		parts := strings.Split(p.Filename, "/")
+		return fmt.Sprintf("%s:%d", parts[len(parts)-1], p.Line)
+	}
+	index := make(map[[2]string]int)
+	var edges []localEdge
+	add := func(from, to, fn string, pos token.Pos, allowed bool) {
+		key := [2]string{from, to}
+		if i, ok := index[key]; ok {
+			if edges[i].Allowed && !allowed {
+				edges[i].Fn = fn
+				edges[i].Pos = posStr(pos)
+				edges[i].pos = pos
+				edges[i].Allowed = false
+			}
+			return
+		}
+		index[key] = len(edges)
+		edges = append(edges, localEdge{
+			Edge: Edge{From: from, To: to, Fn: fn, Pos: posStr(pos), Allowed: allowed},
+			pos:  pos,
+		})
+	}
+	for _, fn := range fns {
+		for _, a := range fn.acquires {
+			a, _ := asyncAcquire(a)
+			for _, h := range a.held {
+				add(h, a.lock, fn.name, a.pos, a.allowed)
+			}
+		}
+		for _, c := range fn.calls {
+			if c.async || len(c.held) == 0 {
+				continue
+			}
+			var acquires []string
+			if callee, ok := local[c.callee]; ok {
+				acquires = sortedKeys(callee.trans)
+			} else {
+				var fact FuncFact
+				if pass.ImportObjectFact(c.callee, &fact) {
+					acquires = fact.Acquires
+				}
+			}
+			calleeName := c.callee.Name()
+			for _, lock := range acquires {
+				for _, h := range c.held {
+					add(h, lock, fn.name+" -> "+calleeName, c.pos, c.allowed)
+				}
+			}
+		}
+	}
+	for _, e := range dirs.Edges() {
+		add(e.From, e.To, "(declared edge)", e.Pos, false)
+	}
+	return edges
+}
+
+// witness records which function, at which file:line, demonstrated an
+// edge of the global graph.
+type witness struct {
+	fn, pos string
+}
+
+// shortestPath BFSes from src to dst over the non-allowed global edges,
+// returning the node path [src, ..., dst] (nil when unreachable).
+// Deterministic: neighbors visited in sorted order.
+func shortestPath(global map[string]map[string]witness, src, dst string) []string {
+	prev := map[string]string{src: ""}
+	queue := []string{src}
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		if node == dst {
+			var path []string
+			for n := dst; n != ""; n = prev[n] {
+				path = append([]string{n}, path...)
+				if n == src {
+					break
+				}
+			}
+			return path
+		}
+		next := make([]string, 0, len(global[node]))
+		for to := range global[node] {
+			if _, seen := prev[to]; !seen {
+				next = append(next, to)
+			}
+		}
+		sort.Strings(next)
+		for _, to := range next {
+			prev[to] = node
+			queue = append(queue, to)
+		}
+	}
+	return nil
+}
+
+// cycleSignature canonicalizes a cycle's node set for dedup — the same
+// cycle is discovered once per participating edge, under rotations.
+func cycleSignature(nodes []string) string {
+	set := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		set[n] = true
+	}
+	uniq := make([]string, 0, len(set))
+	for n := range set {
+		uniq = append(uniq, n)
+	}
+	sort.Strings(uniq)
+	return strings.Join(uniq, "|")
+}
+
+// WriteDOT renders the global lock-acquisition graph assembled from every
+// GraphFact in facts as Graphviz DOT: one node per lock (labeled with its
+// declared level), solid edges for enforced orderings with the witness as
+// tooltip, dashed edges for //lockorder:allow'd ones. cmd/elslint's
+// -lockdot flag writes this for the CI artifact.
+func WriteDOT(w io.Writer, facts []analysis.PackageFact) error {
+	levels := make(map[string]int)
+	type edgeKey struct{ from, to string }
+	edges := make(map[edgeKey]Edge)
+	nodes := make(map[string]bool)
+	for _, pf := range facts {
+		gf, ok := pf.Fact.(*GraphFact)
+		if !ok {
+			continue
+		}
+		for _, d := range gf.Locks {
+			nodes[d.Name] = true
+			if d.Level >= 0 {
+				levels[d.Name] = d.Level
+			}
+		}
+		for _, e := range gf.Edges {
+			nodes[e.From] = true
+			nodes[e.To] = true
+			key := edgeKey{e.From, e.To}
+			if prev, ok := edges[key]; !ok || (prev.Allowed && !e.Allowed) {
+				edges[key] = e
+			}
+		}
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprintln(w, "digraph lockorder {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\"];")
+	for _, n := range names {
+		label := n
+		if lvl, ok := levels[n]; ok {
+			label = fmt.Sprintf("%s\\nlevel %d", n, lvl)
+		}
+		fmt.Fprintf(w, "  %q [label=%q];\n", n, label)
+	}
+	keys := make([]edgeKey, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		e := edges[k]
+		style := "solid"
+		if e.Allowed {
+			style = "dashed"
+		}
+		fmt.Fprintf(w, "  %q -> %q [style=%s, tooltip=%q];\n",
+			e.From, e.To, style, e.Fn+" at "+e.Pos)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

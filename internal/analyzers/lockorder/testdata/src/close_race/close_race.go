@@ -1,0 +1,53 @@
+// Package close_race re-encodes the PR-8 shutdown deadlock as a fixture:
+// Close took the wide state lock and then the shipper lock, while
+// AttachReplica took them in the opposite order. A chaos soak caught the
+// deadlock at runtime; this fixture pins that lockorder catches it at
+// compile time, as both a hierarchy violation and a full two-edge cycle.
+package close_race
+
+import "sync"
+
+// System is the two-lock miniature of the seed's System.
+type System struct {
+	//lockorder:level 10
+	mu sync.Mutex
+	//lockorder:level 20
+	shipMu sync.Mutex
+
+	replicas int
+	closed   bool
+}
+
+// Close mirrors the buggy shutdown: wide lock first, shipper lock second.
+// Its ordering conforms to the hierarchy (10 then 20), so the diagnostic
+// is the cycle closed against Attach, with the witness chain.
+func (s *System) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shipMu.Lock() // want "potential deadlock: lock-acquisition cycle close_race.System.mu -> close_race.System.shipMu -> close_race.System.mu"
+	defer s.shipMu.Unlock()
+	s.closed = true
+}
+
+// Attach mirrors the buggy replica attach: shipper lock held while taking
+// the wide lock — the descending edge that both inverts the hierarchy and
+// closes the cycle.
+func (s *System) Attach() {
+	s.shipMu.Lock()
+	defer s.shipMu.Unlock()
+	s.mu.Lock() // want `lock order violation: close_race.System.shipMu \(level 20\) is held while acquiring close_race.System.mu \(level 10\)`
+	defer s.mu.Unlock()
+	s.replicas++
+}
+
+// Detach is the fixed shape: the two critical sections are sequential,
+// never nested, so it contributes no edge.
+func (s *System) Detach() {
+	s.mu.Lock()
+	s.replicas--
+	s.mu.Unlock()
+
+	s.shipMu.Lock()
+	s.closed = false
+	s.shipMu.Unlock()
+}

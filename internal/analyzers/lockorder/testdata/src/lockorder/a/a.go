@@ -1,0 +1,26 @@
+// Package a is the dependency side of the cross-package fixture: it
+// declares a low-level lock and exports a function acquiring it, so the
+// driver must carry a's FuncFact into b to see b's descending edge.
+package a
+
+import "sync"
+
+//lockorder:level 10
+var mu sync.Mutex
+
+var count int
+
+// Acquire takes and releases the package lock; its exported fact says
+// Acquires = [lockorder/a.mu].
+func Acquire() {
+	mu.Lock()
+	defer mu.Unlock()
+	count++
+}
+
+// AcquireTwice layers a same-package call, exercising the intra-package
+// fixpoint before export.
+func AcquireTwice() {
+	Acquire()
+	Acquire()
+}

@@ -1,0 +1,36 @@
+// Package b is the dependent side of the cross-package fixture: its
+// level-20 lock may not be held across a call into a, whose exported fact
+// says the callee acquires the level-10 lock.
+package b
+
+import (
+	"sync"
+
+	"lockorder/a"
+)
+
+// T owns the high lock.
+type T struct {
+	//lockorder:level 20
+	mu sync.Mutex
+}
+
+// Bad holds the level-20 lock while calling into a — the imported fact
+// reveals the descending level-10 acquisition.
+func (t *T) Bad() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a.AcquireTwice() // want `lock order violation: lockorder/b.T.mu \(level 20\) is held while acquiring lockorder/a.mu \(level 10\)`
+}
+
+// Good takes the cross-package lock only while holding nothing.
+func (t *T) Good() {
+	a.Acquire()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+}
+
+// Unleveled is missing its place in the hierarchy.
+type Unleveled struct {
+	naked sync.Mutex // want "mutex lockorder/b.Unleveled.naked declares no place in the lock hierarchy"
+}

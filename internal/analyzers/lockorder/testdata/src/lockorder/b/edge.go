@@ -1,0 +1,33 @@
+package b
+
+import "sync"
+
+// E models the callback-under-lock shape: publish invokes a caller-
+// supplied hook while holding cbMu, which the analyzer cannot see
+// through, so the ordering is declared manually with //lockorder:edge —
+// and the declared edge still participates in cycle detection.
+type E struct {
+	//lockorder:level 40
+	cbMu sync.Mutex
+	//lockorder:level 50
+	hookMu sync.Mutex
+}
+
+// publish runs the hook under cbMu; the hook's locks are invisible here.
+//
+//lockorder:edge lockorder/b.E.cbMu lockorder/b.E.hookMu
+func (e *E) publish(cb func()) {
+	e.cbMu.Lock()
+	defer e.cbMu.Unlock()
+	cb()
+}
+
+// hook closes the loop against the declared edge: hookMu held while
+// taking cbMu inverts the declared levels and completes a cycle whose
+// other edge exists only by declaration.
+func (e *E) hook() {
+	e.hookMu.Lock()
+	defer e.hookMu.Unlock()
+	e.cbMu.Lock() // want `lock order violation: lockorder/b.E.hookMu \(level 50\) is held while acquiring lockorder/b.E.cbMu \(level 40\)` "potential deadlock: lock-acquisition cycle lockorder/b.E.hookMu -> lockorder/b.E.cbMu -> lockorder/b.E.hookMu"
+	defer e.cbMu.Unlock()
+}

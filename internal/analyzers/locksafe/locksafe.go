@@ -1,0 +1,414 @@
+// Package locksafe checks the local discipline around every mutex
+// acquisition, complementing lockorder's global graph:
+//
+//   - every Lock/RLock must be paired with a release on every path out of
+//     the function — a deferred Unlock/RUnlock, or an explicit release
+//     before each return (the conditional-unlock-then-return shape is
+//     tracked path-sensitively);
+//   - no lock may be held across a blocking channel operation (send,
+//     receive, select, range-over-channel) or a sync.WaitGroup.Wait —
+//     a blocked peer keeps the lock held indefinitely, turning one slow
+//     consumer into a system-wide stall.
+//
+// `//locksafe:allow <reason>` on the acquisition or the blocking site
+// accepts a deliberate exception (a send on a buffered channel whose
+// capacity is established by construction, a lock handed to the caller).
+//
+// The walk is lexical, cloning the held set per branch; function literals
+// invoked synchronously are walked in the enclosing context, goroutine
+// bodies in a fresh one. The check is intra-procedural by design — the
+// cross-function ordering story is lockorder's job.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analyzers/locknames"
+)
+
+// Analyzer enforces release-on-all-paths and no-blocking-while-locked.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "every Lock must be released on all return paths, and no lock may be held across channel operations or WaitGroup.Wait",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := locknames.CollectDirectives(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{
+				pass:     pass,
+				dirs:     dirs,
+				deferred: make(map[string]bool),
+				reported: make(map[reportKey]bool),
+			}
+			held := w.block(fd.Body.List, nil)
+			if !terminates(fd.Body.List) {
+				w.leaks(held, fd.Body.End())
+			}
+		}
+	}
+	return nil, nil
+}
+
+// heldLock is one acquisition still outstanding on the current path.
+type heldLock struct {
+	name string
+	pos  token.Pos // acquisition site
+	op   locknames.Op
+}
+
+type reportKey struct {
+	lock string
+	pos  token.Pos
+}
+
+type walker struct {
+	pass     *analysis.Pass
+	dirs     *locknames.Directives
+	deferred map[string]bool // locks covered by a deferred release
+	reported map[reportKey]bool
+	inComm   bool // inside a select comm clause: the select itself was the report
+}
+
+// leaks reports every held, non-deferred, non-allowed lock at an exit
+// point.
+func (w *walker) leaks(held []heldLock, at token.Pos) {
+	for _, h := range held {
+		if w.deferred[h.name] {
+			continue
+		}
+		if w.dirs.Allowed(h.pos, "locksafe") || w.dirs.Allowed(at, "locksafe") {
+			continue
+		}
+		key := reportKey{h.name, at}
+		if w.reported[key] {
+			continue
+		}
+		w.reported[key] = true
+		w.pass.Reportf(at, "lock %s (acquired at %s) may still be held on this path out of the function; release it before returning, defer the unlock, or annotate //locksafe:allow",
+			h.name, w.pass.Fset.Position(h.pos))
+	}
+}
+
+// blocking reports a blocking operation performed while any lock is held.
+func (w *walker) blocking(held []heldLock, at token.Pos, what string) {
+	if w.inComm {
+		return
+	}
+	for _, h := range held {
+		if w.dirs.Allowed(h.pos, "locksafe") || w.dirs.Allowed(at, "locksafe") {
+			continue
+		}
+		key := reportKey{h.name + "#" + what, at}
+		if w.reported[key] {
+			continue
+		}
+		w.reported[key] = true
+		w.pass.Reportf(at, "%s while holding %s; a blocked counterpart keeps the lock held indefinitely — release first or annotate //locksafe:allow",
+			what, h.name)
+	}
+}
+
+// block walks a statement list, threading the held set through it, and
+// returns the held set at the end of the list.
+func (w *walker) block(list []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *walker) stmt(s ast.Stmt, held []heldLock) []heldLock {
+	switch st := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		held = w.expr(st.X, held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			held = w.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			held = w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						held = w.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			held = w.expr(e, held)
+		}
+		w.leaks(held, st.Pos())
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing loop or block; the held
+		// set rejoins a path this walk also covers, so nothing to check.
+	case *ast.IfStmt:
+		held = w.stmt(st.Init, held)
+		held = w.expr(st.Cond, held)
+		thenOut := w.block(st.Body.List, clone(held))
+		thenEnds := terminates(st.Body.List)
+		if st.Else == nil {
+			if !thenEnds {
+				held = intersect(held, thenOut)
+			}
+			break
+		}
+		var elseOut []heldLock
+		elseEnds := false
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			elseOut = w.block(e.List, clone(held))
+			elseEnds = terminates(e.List)
+		default: // else-if chain
+			elseOut = w.stmt(st.Else, clone(held))
+		}
+		switch {
+		case thenEnds && elseEnds:
+			// both arms leave the function; code after is unreachable
+		case thenEnds:
+			held = elseOut
+		case elseEnds:
+			held = thenOut
+		default:
+			held = intersect(thenOut, elseOut)
+		}
+	case *ast.ForStmt:
+		held = w.stmt(st.Init, held)
+		if st.Cond != nil {
+			held = w.expr(st.Cond, held)
+		}
+		body := w.block(st.Body.List, clone(held))
+		w.stmt(st.Post, body)
+		// Zero-iteration path: held unchanged.
+	case *ast.RangeStmt:
+		held = w.expr(st.X, held)
+		if tv, ok := w.pass.TypesInfo.Types[st.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && len(held) > 0 {
+				w.blocking(held, st.Pos(), "range over channel")
+			}
+		}
+		w.block(st.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		held = w.stmt(st.Init, held)
+		if st.Tag != nil {
+			held = w.expr(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(cc.Body, clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		held = w.stmt(st.Init, held)
+		held = w.stmt(st.Assign, held)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(cc.Body, clone(held))
+			}
+		}
+	case *ast.SelectStmt:
+		// A select with a default clause never parks — the repo's
+		// wake/drop idiom (admission wakeups, shipper enqueue) relies on
+		// exactly that under a lock, and stays silent here.
+		blocking := true
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				blocking = false
+			}
+		}
+		if blocking && len(held) > 0 {
+			w.blocking(held, st.Pos(), "select")
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := clone(held)
+				w.inComm = true
+				inner = w.stmt(cc.Comm, inner)
+				w.inComm = false
+				w.block(cc.Body, inner)
+			}
+		}
+	case *ast.BlockStmt:
+		held = w.block(st.List, held)
+	case *ast.LabeledStmt:
+		held = w.stmt(st.Stmt, held)
+	case *ast.DeferStmt:
+		if op, lockExpr := locknames.Classify(w.pass.TypesInfo, st.Call); op.Release() {
+			if name, ok := locknames.Name(w.pass.TypesInfo, lockExpr, ""); ok {
+				w.deferred[name] = true
+			}
+			break
+		}
+		held = w.expr(st.Call, held)
+	case *ast.GoStmt:
+		// The goroutine runs with no inherited locks; its body gets a
+		// fresh walk. Arguments are evaluated on the spawner's path.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.freshLit(lit)
+		}
+		for _, arg := range st.Call.Args {
+			held = w.expr(arg, held)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.blocking(held, st.Pos(), "channel send")
+		}
+		held = w.expr(st.Chan, held)
+		held = w.expr(st.Value, held)
+	case *ast.IncDecStmt:
+		held = w.expr(st.X, held)
+	}
+	return held
+}
+
+func (w *walker) expr(e ast.Expr, held []heldLock) []heldLock {
+	switch ex := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		op, lockExpr := locknames.Classify(w.pass.TypesInfo, ex)
+		switch {
+		case op.Acquire():
+			if name, ok := locknames.Name(w.pass.TypesInfo, lockExpr, ""); ok {
+				held = append(held, heldLock{name: name, pos: ex.Pos(), op: op})
+			}
+			return held
+		case op.Release():
+			if name, ok := locknames.Name(w.pass.TypesInfo, lockExpr, ""); ok {
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].name == name {
+						held = append(held[:i:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+			return held
+		}
+		if locknames.IsWaitGroupWait(w.pass.TypesInfo, ex) && len(held) > 0 {
+			w.blocking(held, ex.Pos(), "sync.WaitGroup.Wait")
+		}
+		held = w.expr(ex.Fun, held)
+		for _, arg := range ex.Args {
+			held = w.expr(arg, held)
+		}
+	case *ast.FuncLit:
+		// Synchronously invoked (or stored) literal: its body must keep
+		// its own locks balanced, starting from an empty held set — locks
+		// of the enclosing function cannot be released by a literal that
+		// may run later.
+		w.freshLit(ex)
+	case *ast.UnaryExpr:
+		if ex.Op == token.ARROW && len(held) > 0 {
+			w.blocking(held, ex.Pos(), "channel receive")
+		}
+		held = w.expr(ex.X, held)
+	case *ast.ParenExpr:
+		held = w.expr(ex.X, held)
+	case *ast.BinaryExpr:
+		held = w.expr(ex.X, held)
+		held = w.expr(ex.Y, held)
+	case *ast.SelectorExpr:
+		held = w.expr(ex.X, held)
+	case *ast.IndexExpr:
+		held = w.expr(ex.X, held)
+		held = w.expr(ex.Index, held)
+	case *ast.SliceExpr:
+		held = w.expr(ex.X, held)
+	case *ast.StarExpr:
+		held = w.expr(ex.X, held)
+	case *ast.TypeAssertExpr:
+		held = w.expr(ex.X, held)
+	case *ast.CompositeLit:
+		for _, el := range ex.Elts {
+			held = w.expr(el, held)
+		}
+	case *ast.KeyValueExpr:
+		held = w.expr(ex.Value, held)
+	}
+	return held
+}
+
+// freshLit walks a function literal's body in its own context: fresh held
+// set, fresh deferred set, shared report dedup.
+func (w *walker) freshLit(lit *ast.FuncLit) {
+	inner := &walker{
+		pass:     w.pass,
+		dirs:     w.dirs,
+		deferred: make(map[string]bool),
+		reported: w.reported,
+	}
+	held := inner.block(lit.Body.List, nil)
+	if !terminates(lit.Body.List) {
+		inner.leaks(held, lit.Body.End())
+	}
+}
+
+// terminates reports whether a statement list definitely leaves the
+// enclosing function (trailing return, panic, or both-armed terminating
+// if) — the paths after it are dead and carry no leak to report.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if last.Else == nil {
+			return false
+		}
+		elseBlock, ok := last.Else.(*ast.BlockStmt)
+		if !ok {
+			return false
+		}
+		return terminates(last.Body.List) && terminates(elseBlock.List)
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	}
+	return false
+}
+
+func clone(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+// intersect keeps the locks held on both paths (same lock name), in
+// a-order — a lock released on either path no longer needs releasing on
+// the joined path it was released on, and the other path reports for
+// itself.
+func intersect(a, b []heldLock) []heldLock {
+	names := make(map[string]bool, len(b))
+	for _, h := range b {
+		names[h.name] = true
+	}
+	var out []heldLock
+	for _, h := range a {
+		if names[h.name] {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+package locksafe
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, Analyzer, "locksafe")
+}

@@ -1,0 +1,62 @@
+// Package locksafe fixtures: every caught shape in bad.go, every
+// accepted idiom in ok.go.
+package locksafe
+
+import "sync"
+
+// S bundles a lock with the blocking primitives it must not be held
+// across.
+type S struct {
+	mu sync.Mutex
+	ch chan int
+	wg sync.WaitGroup
+	n  int
+}
+
+// LeakOnReturn forgets the unlock on the early-return path.
+func (s *S) LeakOnReturn(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		return 1 // want `lock locksafe.S.mu \(acquired at .*bad.go:\d+:\d+\) may still be held on this path`
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// LeakAtEnd never releases at all.
+func (s *S) LeakAtEnd() {
+	s.mu.Lock()
+	s.n++
+} // want "lock locksafe.S.mu .* may still be held on this path"
+
+// SendWhileLocked blocks on an unbuffered channel under the lock.
+func (s *S) SendWhileLocked(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want "channel send while holding locksafe.S.mu"
+}
+
+// RecvWhileLocked blocks on a receive under the lock.
+func (s *S) RecvWhileLocked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive while holding locksafe.S.mu"
+}
+
+// WaitWhileLocked parks on a WaitGroup under the lock.
+func (s *S) WaitWhileLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want `sync.WaitGroup.Wait while holding locksafe.S.mu`
+}
+
+// SelectWhileLocked parks on a select under the lock.
+func (s *S) SelectWhileLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select while holding locksafe.S.mu"
+	case v := <-s.ch:
+		s.n = v
+	case s.ch <- s.n:
+	}
+}

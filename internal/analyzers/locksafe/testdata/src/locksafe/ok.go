@@ -1,0 +1,85 @@
+package locksafe
+
+import "sync"
+
+// OK bundles the accepted idioms.
+type OK struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// Deferred is the canonical pairing.
+func (o *OK) Deferred() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.n++
+}
+
+// BothPaths releases explicitly on every path (the
+// conditional-unlock-then-return shape from replica.go).
+func (o *OK) BothPaths(cond bool) int {
+	o.mu.Lock()
+	if cond {
+		o.mu.Unlock()
+		return 1
+	}
+	o.mu.Unlock()
+	return 0
+}
+
+// EitherArm releases in both arms of an if/else before falling through.
+func (o *OK) EitherArm(cond bool) int {
+	o.mu.Lock()
+	if cond {
+		o.n++
+		o.mu.Unlock()
+	} else {
+		o.n--
+		o.mu.Unlock()
+	}
+	return o.n
+}
+
+// AllowedSend accepts the blocking risk deliberately: the channel is
+// buffered with capacity established at construction.
+func (o *OK) AllowedSend(v int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	//locksafe:allow buffered channel sized to peak fan-out (fixture)
+	o.ch <- v
+}
+
+// Spawn hands work to a goroutine, which holds no inherited locks — its
+// channel send is fine.
+func (o *OK) Spawn() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	go func() {
+		o.ch <- 1
+	}()
+}
+
+// NonBlockingSelect is the wake/drop idiom: a select with a default
+// clause never parks, so holding the lock across it is fine.
+func (o *OK) NonBlockingSelect() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	select {
+	case o.ch <- o.n:
+	default:
+	}
+}
+
+// R covers the read-side pairing of an RWMutex.
+type R struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Read pairs RLock with a deferred RUnlock.
+func (r *R) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}

@@ -1,0 +1,16 @@
+// Package alias re-exports the fixture taxonomy, as the root els package
+// re-exports internal/governor's sentinels; errtaxonomy resolves each
+// alias to its canonical identity, so references through either spelling
+// collapse to one sentinel.
+package alias
+
+import "wirecover/taxo"
+
+var (
+	// ErrAlpha aliases the canonical sentinel.
+	ErrAlpha = taxo.ErrAlpha
+	// ErrBeta aliases the canonical sentinel.
+	ErrBeta = taxo.ErrBeta
+	// ErrGamma aliases the canonical sentinel.
+	ErrGamma = taxo.ErrGamma
+)

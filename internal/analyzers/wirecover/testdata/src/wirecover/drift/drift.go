@@ -1,0 +1,24 @@
+// Package drift declares a retry set that disagrees with wiregood's —
+// through the alias spelling of the sentinels, so the comparison only
+// works if aliases resolve canonically.
+package drift // want "retryable classifications disagree"
+
+import (
+	"errors"
+
+	"wirecover/alias"
+	"wirecover/wiregood"
+)
+
+// Retryable drifted: it also accepts ErrBeta, which wiregood's set does
+// not.
+//
+//wirecover:retryset
+func Retryable(err error) bool {
+	return errors.Is(err, alias.ErrAlpha) || errors.Is(err, alias.ErrBeta)
+}
+
+// Dispatch keeps wiregood imported.
+func Dispatch(err error) bool {
+	return wiregood.Retryable(err)
+}

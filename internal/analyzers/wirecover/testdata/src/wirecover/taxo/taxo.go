@@ -1,0 +1,14 @@
+// Package taxo is a miniature three-sentinel error taxonomy; errtaxonomy
+// exports its sentinel set as a fact for the dependent fixtures.
+package taxo
+
+import "errors"
+
+var (
+	// ErrAlpha is the retryable sentinel of the fixture taxonomy.
+	ErrAlpha = errors.New("alpha")
+	// ErrBeta is a terminal sentinel.
+	ErrBeta = errors.New("beta")
+	// ErrGamma is a terminal sentinel.
+	ErrGamma = errors.New("gamma")
+)

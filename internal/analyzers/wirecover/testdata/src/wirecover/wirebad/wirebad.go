@@ -1,0 +1,43 @@
+// Package wirebad is the caught side: the table drops one sentinel's wire
+// code, double-maps another, reuses a code string, and the dispatch
+// delegates to an undeclared classifier.
+package wirebad
+
+import (
+	"errors"
+
+	"wirecover/taxo"
+)
+
+// codes misses ErrGamma entirely, maps ErrBeta twice, and reuses "alpha".
+//
+//wirecover:table
+var codes = []struct { // want `wire code table covers no code for sentinel\(s\) wirecover/taxo.ErrGamma`
+	Code string
+	Err  error
+}{
+	{"alpha", taxo.ErrAlpha},
+	{"beta", taxo.ErrBeta},
+	{"alpha", taxo.ErrBeta}, // want "maps sentinel wirecover/taxo.ErrBeta more than once" `wire code "alpha" is reused`
+}
+
+// adHoc classifies retryability without declaring itself.
+func adHoc(err error) bool {
+	return errors.Is(err, taxo.ErrBeta)
+}
+
+// Dispatch fails to delegate to a declared retry set.
+func Dispatch(err error) bool {
+	//wirecover:retryvia
+	return adHoc(err) // want "none of which is a //wirecover:retryset classifier"
+}
+
+// CodeOf keeps the table referenced.
+func CodeOf(err error) string {
+	for _, row := range codes {
+		if errors.Is(err, row.Err) {
+			return row.Code
+		}
+	}
+	return "internal"
+}

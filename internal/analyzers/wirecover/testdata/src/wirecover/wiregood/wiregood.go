@@ -1,0 +1,49 @@
+// Package wiregood projects the fixture taxonomy correctly: a complete
+// code table with distinct codes, a declared retry set, and a delegating
+// dispatch — all silent.
+package wiregood
+
+import (
+	"errors"
+
+	"wirecover/taxo"
+)
+
+// codes is the wire projection of the taxonomy: every sentinel exactly
+// once, every code distinct.
+//
+//wirecover:table
+var codes = []struct {
+	Code string
+	Err  error
+}{
+	{"alpha", taxo.ErrAlpha},
+	{"beta", taxo.ErrBeta},
+	{"gamma", taxo.ErrGamma},
+}
+
+// Retryable is the declared retry classification.
+//
+//wirecover:retryset
+func Retryable(err error) bool {
+	return errors.Is(err, taxo.ErrAlpha)
+}
+
+// Dispatch delegates its retry decision to the declared classifier.
+func Dispatch(err error) bool {
+	if err == nil {
+		return false
+	}
+	//wirecover:retryvia
+	return Retryable(err)
+}
+
+// CodeOf keeps the table referenced.
+func CodeOf(err error) string {
+	for _, row := range codes {
+		if errors.Is(err, row.Err) {
+			return row.Code
+		}
+	}
+	return "internal"
+}

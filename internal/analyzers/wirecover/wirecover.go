@@ -1,0 +1,369 @@
+// Package wirecover proves the error taxonomy's three hand-maintained
+// projections agree with the taxonomy itself, using the sentinel facts
+// errtaxonomy exports:
+//
+//   - a composite literal annotated `//wirecover:table` (internal/wire's
+//     code table) must reference every taxonomy sentinel visible to its
+//     package exactly once, each paired with a distinct string code —
+//     deleting one sentinel's wire code, or mapping two codes to one
+//     sentinel, goes red;
+//   - a function annotated `//wirecover:retryset` (els.Retryable,
+//     wire.retryableErr) must classify errors purely by errors.Is against
+//     taxonomy sentinels; its sentinel set is exported as a fact, and
+//     every retryset visible in a package — its own and its direct
+//     imports' — must be the same set, so the three copies of "what is
+//     retryable" cannot drift apart silently;
+//   - a call annotated `//wirecover:retryvia` (the driver's retry loop)
+//     must target a retryset-annotated function, pinning the delegation:
+//     swapping the driver's classification for an ad-hoc errors.Is chain
+//     breaks the build.
+//
+// The sentinel universe is canonical: errtaxonomy resolves aliases (the
+// root package re-exports internal/governor's sentinels), so
+// els.ErrInternal and governor.ErrInternal are one node and the
+// comparisons are exact.
+package wirecover
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analyzers/errtaxonomy"
+	"repro/internal/analyzers/locknames"
+)
+
+// Analyzer checks taxonomy coverage of annotated tables, retry sets, and
+// retry call sites.
+var Analyzer = &analysis.Analyzer{
+	Name:      "wirecover",
+	Doc:       "//wirecover:table literals must map every taxonomy sentinel exactly once to a unique code; //wirecover:retryset functions must agree on one retryable set; //wirecover:retryvia calls must target a retryset function",
+	Requires:  []*analysis.Analyzer{errtaxonomy.Analyzer},
+	FactTypes: []analysis.Fact{new(RetrySetFact), new(RetryFnFact)},
+	Run:       run,
+}
+
+// RetrySetFact carries a package's retryset classifications.
+type RetrySetFact struct {
+	// Sets has one entry per //wirecover:retryset function.
+	Sets []RetrySet
+}
+
+// AFact marks RetrySetFact as a fact type.
+func (*RetrySetFact) AFact() {}
+
+// RetrySet is one retry classification function and the sentinels it
+// accepts.
+type RetrySet struct {
+	// Fn is the function, pkgpath.Name.
+	Fn string
+	// Canon is the sorted canonical sentinel set it classifies as
+	// retryable.
+	Canon []string
+}
+
+// RetryFnFact marks a function object as a declared retry classifier, so
+// //wirecover:retryvia call sites in dependent packages can verify their
+// delegation target.
+type RetryFnFact struct{}
+
+// AFact marks RetryFnFact as a fact type.
+func (*RetryFnFact) AFact() {}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := locknames.CollectDirectives(pass.Fset, pass.Files)
+	universe, resolve := sentinelUniverse(pass)
+
+	var local []RetrySet
+	var anchor token.Pos
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		if anchor == token.NoPos {
+			anchor = f.Name.Pos()
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if _, ok := dirs.Find(d.Pos(), "wirecover:table"); ok {
+					checkTable(pass, d, universe, resolve)
+				}
+			case *ast.FuncDecl:
+				if _, ok := dirs.Find(d.Pos(), "wirecover:retryset"); ok && d.Body != nil {
+					set := retrySet(pass, d, resolve)
+					local = append(local, set)
+					if obj := pass.TypesInfo.Defs[d.Name]; obj != nil {
+						pass.ExportObjectFact(obj, &RetryFnFact{})
+					}
+				}
+			}
+		}
+		checkRetryVia(pass, f, dirs)
+	}
+
+	if len(local) > 0 {
+		sort.Slice(local, func(i, j int) bool { return local[i].Fn < local[j].Fn })
+		pass.ExportPackageFact(&RetrySetFact{Sets: local})
+	}
+
+	checkAgreement(pass, local, anchor)
+	return nil, nil
+}
+
+// sentinelUniverse assembles the canonical taxonomy visible to this
+// package — its own sentinels plus those of its direct imports — and a
+// resolver from referenced objects (pkgpath.Name, alias or origin) to
+// canonical identities.
+func sentinelUniverse(pass *analysis.Pass) (universe map[string]bool, resolve map[string]string) {
+	universe = make(map[string]bool)
+	resolve = make(map[string]string)
+	absorb := func(path string, fact *errtaxonomy.SentinelSetFact) {
+		for _, s := range fact.Sentinels {
+			universe[s.Canon] = true
+			resolve[path+"."+s.Name] = s.Canon
+		}
+	}
+	var own errtaxonomy.SentinelSetFact
+	if pass.ImportPackageFact(pass.Pkg, &own) {
+		absorb(pass.Pkg.Path(), &own)
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		var fact errtaxonomy.SentinelSetFact
+		if pass.ImportPackageFact(imp, &fact) {
+			absorb(imp.Path(), &fact)
+		}
+	}
+	return universe, resolve
+}
+
+// sentinelOf resolves an expression to a canonical sentinel identity when
+// it references one.
+func sentinelOf(pass *analysis.Pass, resolve map[string]string, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch ex := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = ex
+	case *ast.SelectorExpr:
+		id = ex.Sel
+	default:
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return "", false
+	}
+	canon, ok := resolve[obj.Pkg().Path()+"."+obj.Name()]
+	return canon, ok
+}
+
+// checkTable verifies one //wirecover:table declaration: every sentinel of
+// the universe referenced exactly once, every paired string code distinct.
+func checkTable(pass *analysis.Pass, decl *ast.GenDecl, universe map[string]bool, resolve map[string]string) {
+	if len(universe) == 0 {
+		pass.Reportf(decl.Pos(), "//wirecover:table but no taxonomy sentinels are visible to this package; import the sentinel-declaring package or drop the annotation")
+		return
+	}
+	seen := make(map[string]int)
+	codes := make(map[string]token.Pos)
+	ast.Inspect(decl, func(n ast.Node) bool {
+		row, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		var rowSent string
+		var rowCode string
+		var hasCode bool
+		for _, el := range row.Elts {
+			if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+				el = kv.Value
+			}
+			if canon, isSent := sentinelOf(pass, resolve, el); isSent {
+				rowSent = canon
+				continue
+			}
+			if tv, okT := pass.TypesInfo.Types[el]; okT && tv.Value != nil && tv.Value.Kind() == constant.String {
+				rowCode = constant.StringVal(tv.Value)
+				hasCode = true
+			}
+		}
+		if rowSent == "" {
+			return true // not a code row (the outer literal, a nested type)
+		}
+		seen[rowSent]++
+		if seen[rowSent] > 1 {
+			pass.Reportf(row.Pos(), "wire code table maps sentinel %s more than once; each sentinel has exactly one wire code", rowSent)
+		}
+		if hasCode {
+			if prev, dup := codes[rowCode]; dup {
+				pass.Reportf(row.Pos(), "wire code %q is reused (first at %s); codes must be distinct per sentinel", rowCode, pass.Fset.Position(prev))
+			} else {
+				codes[rowCode] = row.Pos()
+			}
+		}
+		return false
+	})
+	var missing []string
+	for canon := range universe {
+		if seen[canon] == 0 {
+			missing = append(missing, canon)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(decl.Pos(), "wire code table covers no code for sentinel(s) %s; every taxonomy sentinel needs a stable wire code (add the row, or retire the sentinel everywhere)", strings.Join(missing, ", "))
+	}
+}
+
+// retrySet extracts the canonical sentinel set a //wirecover:retryset
+// function classifies via errors.Is, reporting classification logic the
+// analyzer cannot prove (non-sentinel errors.Is targets).
+func retrySet(pass *analysis.Pass, fd *ast.FuncDecl, resolve map[string]string) RetrySet {
+	set := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Is" || len(call.Args) != 2 {
+			return true
+		}
+		if pn, ok := pass.TypesInfo.Uses[identOf(sel.X)].(*types.PkgName); !ok || pn.Imported().Path() != "errors" {
+			return true
+		}
+		canon, ok := sentinelOf(pass, resolve, call.Args[1])
+		if !ok {
+			pass.Reportf(call.Args[1].Pos(), "//wirecover:retryset function %s matches against a non-sentinel error; retry classification must be expressed over taxonomy sentinels only", fd.Name.Name)
+			return true
+		}
+		set[canon] = true
+		return true
+	})
+	canon := make([]string, 0, len(set))
+	for c := range set {
+		canon = append(canon, c)
+	}
+	sort.Strings(canon)
+	return RetrySet{Fn: pass.Pkg.Path() + "." + fd.Name.Name, Canon: canon}
+}
+
+// identOf unwraps an expression to its identifier, if it is one.
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// checkRetryVia verifies every //wirecover:retryvia site: among the calls
+// the directive covers (its line may combine the delegation with other
+// predicates), at least one must target a function carrying RetryFnFact.
+func checkRetryVia(pass *analysis.Pass, f *ast.File, dirs *locknames.Directives) {
+	type site struct {
+		pos   token.Pos
+		names []string
+		ok    bool
+	}
+	sites := make(map[int]*site) // keyed by line of the covered call
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := dirs.Find(call.Pos(), "wirecover:retryvia"); !ok {
+			return true
+		}
+		line := pass.Fset.Position(call.Pos()).Line
+		s := sites[line]
+		if s == nil {
+			s = &site{pos: call.Pos()}
+			sites[line] = s
+		}
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		var fact RetryFnFact
+		if pass.ImportObjectFact(obj, &fact) {
+			s.ok = true
+		} else {
+			s.names = append(s.names, obj.Name())
+		}
+		return true
+	})
+	lines := make([]int, 0, len(sites))
+	for line := range sites {
+		lines = append(lines, line)
+	}
+	sort.Ints(lines)
+	for _, line := range lines {
+		s := sites[line]
+		if !s.ok {
+			pass.Reportf(s.pos, "//wirecover:retryvia site calls [%s], none of which is a //wirecover:retryset classifier; retry decisions must delegate to a declared retry set",
+				strings.Join(s.names, ", "))
+		}
+	}
+}
+
+// checkAgreement compares every retryset visible to this package — its
+// own plus its direct imports' — and reports the first disagreement with
+// the symmetric difference spelled out.
+func checkAgreement(pass *analysis.Pass, local []RetrySet, anchor token.Pos) {
+	visible := append([]RetrySet(nil), local...)
+	for _, imp := range pass.Pkg.Imports() {
+		var fact RetrySetFact
+		if pass.ImportPackageFact(imp, &fact) {
+			visible = append(visible, fact.Sets...)
+		}
+	}
+	if len(visible) < 2 {
+		return
+	}
+	sort.Slice(visible, func(i, j int) bool { return visible[i].Fn < visible[j].Fn })
+	base := visible[0]
+	for _, other := range visible[1:] {
+		if diff := setDiff(base.Canon, other.Canon); diff != "" {
+			pass.Reportf(anchor, "retryable classifications disagree: %s and %s differ on %s; the retry contract must be one set everywhere (DESIGN.md §12)",
+				base.Fn, other.Fn, diff)
+			return
+		}
+	}
+}
+
+// setDiff renders the symmetric difference of two sorted string sets, ""
+// when equal.
+func setDiff(a, b []string) string {
+	inA := make(map[string]bool, len(a))
+	for _, s := range a {
+		inA[s] = true
+	}
+	inB := make(map[string]bool, len(b))
+	for _, s := range b {
+		inB[s] = true
+	}
+	var only []string
+	for _, s := range a {
+		if !inB[s] {
+			only = append(only, s+" (first only)")
+		}
+	}
+	for _, s := range b {
+		if !inA[s] {
+			only = append(only, s+" (second only)")
+		}
+	}
+	sort.Strings(only)
+	return strings.Join(only, ", ")
+}

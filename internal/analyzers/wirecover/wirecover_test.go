@@ -1,0 +1,25 @@
+package wirecover
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+// TestAccepted pins the silent shapes: a complete table, a declared retry
+// set, and a delegating dispatch.
+func TestAccepted(t *testing.T) {
+	analysistest.Run(t, Analyzer, "wirecover/wiregood")
+}
+
+// TestCaught pins the red shapes: a deleted wire code, a double-mapped
+// sentinel, a reused code, and an undeclared retry classifier.
+func TestCaught(t *testing.T) {
+	analysistest.Run(t, Analyzer, "wirecover/wirebad")
+}
+
+// TestDrift pins cross-package retry-set agreement through sentinel
+// aliases: drift's set disagrees with wiregood's, compared canonically.
+func TestDrift(t *testing.T) {
+	analysistest.Run(t, Analyzer, "wirecover/drift")
+}

@@ -59,6 +59,7 @@ type Estimator struct {
 	// the predicate set, equivalence classes, and effective statistics are
 	// fixed at construction. Guarded by memoMu: the optimizer's parallel
 	// DP search calls JoinStep from many goroutines.
+	//lockorder:level 52
 	memoMu sync.Mutex
 	memo   map[string]memoEntry
 }

@@ -107,6 +107,7 @@ type harness struct {
 	cfg Config
 	sys *els.System
 
+	//lockorder:level 5
 	mu           sync.Mutex
 	versionCard  map[uint64]float64 // version -> published card of V
 	observations []observation
@@ -115,6 +116,7 @@ type harness struct {
 	ops          int
 	succeeded    int
 
+	//lockorder:level 70
 	logMu sync.Mutex
 }
 

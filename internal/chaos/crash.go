@@ -114,11 +114,13 @@ type crashState struct {
 type crashHarness struct {
 	cfg CrashConfig
 
+	//lockorder:level 5
 	mu         sync.Mutex
 	maxTried   map[string]float64 // persists across rounds
 	violations []string
 	report     CrashReport
 
+	//lockorder:level 70
 	logMu sync.Mutex
 }
 

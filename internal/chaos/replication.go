@@ -120,11 +120,13 @@ type replHarness struct {
 	reps    []*els.Replica
 	ids     []string
 
+	//lockorder:level 5
 	mu         sync.Mutex
 	maxTried   float64 // highest card ever attempted for table m0
 	violations []string
 	report     ReplicationReport
 
+	//lockorder:level 70
 	logMu sync.Mutex
 }
 

@@ -96,6 +96,7 @@ func tenantName(i int) string { return fmt.Sprintf("tenant%d", i) }
 type serverHarness struct {
 	cfg ServerConfig
 
+	//lockorder:level 5
 	mu          sync.Mutex
 	versionCard map[string]map[uint64]float64 // tenant -> acked version -> card
 	obs         map[string][]observation      // tenant -> estimate probes
@@ -104,6 +105,7 @@ type serverHarness struct {
 	ops         int
 	succeeded   int
 
+	//lockorder:level 70
 	logMu sync.Mutex
 }
 

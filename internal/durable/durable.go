@@ -114,6 +114,7 @@ type Store struct {
 	dir   string
 	scope string // probe-point prefix; "" for a primary
 
+	//lockorder:level 40
 	mu        sync.Mutex
 	wal       *os.File
 	walSize   int64

@@ -84,7 +84,8 @@ type state struct {
 }
 
 var (
-	armed  atomic.Int32 // number of armed points; fast-path gate
+	armed atomic.Int32 // number of armed points; fast-path gate
+	//lockorder:level 80
 	mu     sync.Mutex
 	points = map[string]*state{}
 )

@@ -72,6 +72,7 @@ type entry struct {
 // stored in it are shared by every hit — callers must treat them as
 // read-only (the serving layer copies its estimate template per hit).
 type Cache struct {
+	//lockorder:level 50
 	mu            sync.Mutex
 	cap           int
 	lru           *list.List // front = most recently used; stores *entry

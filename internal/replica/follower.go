@@ -39,6 +39,7 @@ type Follower struct {
 
 	known atomic.Uint64 // highest primary version announced to this follower
 
+	//lockorder:level 36
 	mu          sync.Mutex
 	quarantined error // sticky *governor.DivergenceError until resync
 

@@ -48,6 +48,7 @@ type Source func() (*catalog.Catalog, uint64)
 type Shipper struct {
 	src Source
 
+	//lockorder:level 44
 	mu     sync.Mutex
 	links  map[string]*link
 	wg     sync.WaitGroup

@@ -25,6 +25,7 @@ const (
 )
 
 type hist struct {
+	//lockorder:level 16
 	mu     sync.Mutex
 	counts [histBuckets]uint64
 	total  uint64

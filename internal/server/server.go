@@ -103,22 +103,25 @@ type Server struct {
 	// In-flight request tracking. reqMu orders registration against the
 	// drain's Wait: once reqClosed flips, arrivals are refused (typed
 	// draining error) without touching reqWG, so Add never races Wait.
+	//lockorder:level 12
 	reqMu     sync.Mutex
 	reqClosed bool
 	reqWG     sync.WaitGroup
 
+	//lockorder:level 10
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
 	shutdown bool
 	drainErr error
 	drained  chan struct{}
 
-	draining    atomic.Bool
-	accepted    counter
-	requests    counter
-	badFrames   counter
-	drainNanos  atomic.Int64
-	start       time.Time
+	draining   atomic.Bool
+	accepted   counter
+	requests   counter
+	badFrames  counter
+	drainNanos atomic.Int64
+	start      time.Time
+	//lockorder:level 70
 	logMu       sync.Mutex
 	shutdownOne sync.Once
 }

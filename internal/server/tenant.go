@@ -46,6 +46,7 @@ type tenant struct {
 	// trips (PoisonThreshold consecutive internal errors, or a durability
 	// freeze). A degraded tenant fails fast with a typed TenantError and
 	// never reaches its System again until the process restarts.
+	//lockorder:level 14
 	mu             sync.Mutex
 	degraded       error
 	consecInternal int

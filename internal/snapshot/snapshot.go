@@ -52,6 +52,7 @@ type Durability interface {
 // Current is wait-free (one atomic load), so pinning a version at query
 // admission costs nothing even under heavy mutation traffic.
 type Store struct {
+	//lockorder:level 42
 	mu        sync.Mutex // serializes Mutate; guards dur, onPublish
 	dur       Durability
 	onPublish func(version uint64)

@@ -223,7 +223,11 @@ type Error struct {
 // sentinels maps wire codes to taxonomy sentinels and back. Order is the
 // classification priority for CodeOf: structured wrappers first (tenant,
 // overload) so an error chaining several sentinels gets the most specific
-// code.
+// code. The wirecover analyzer proves the table total: every taxonomy
+// sentinel exactly once, every code distinct — deleting a row no longer
+// waits for a cross-version client to notice.
+//
+//wirecover:table
 var sentinels = []struct {
 	code string
 	err  error
@@ -267,7 +271,11 @@ func Sentinel(code string) error {
 
 // retryableErr mirrors els.Retryable without importing the root package
 // (the root package is above wire in the dependency order): internal,
-// overloaded, and stale-replica failures are worth retrying.
+// overloaded, and stale-replica failures are worth retrying. The mirror
+// cannot drift: wirecover compares every declared retry set canonically
+// and goes red on the first disagreement.
+//
+//wirecover:retryset
 func retryableErr(err error) bool {
 	return errors.Is(err, governor.ErrInternal) || errors.Is(err, governor.ErrOverloaded) ||
 		errors.Is(err, governor.ErrStaleReplica)

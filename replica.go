@@ -40,6 +40,7 @@ import (
 // checkpoint + WAL (torn-tail truncation, stale-record skip included) and
 // resumes tailing from its last applied version when re-attached.
 type Replica struct {
+	//lockorder:level 26
 	mu       sync.Mutex
 	sys      *System
 	fol      *replica.Follower

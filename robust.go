@@ -69,7 +69,11 @@ var (
 // Retryable is the single classification shared by the in-process retry
 // loop (SetRetryPolicy), the database/sql driver's resubmission policy,
 // and wire responses' retryable flag, so every layer agrees on what "try
-// again" means.
+// again" means. The wirecover analyzer holds it to that: the declared
+// retry set below must match every other //wirecover:retryset in the
+// dependency graph.
+//
+//wirecover:retryset
 func Retryable(err error) bool {
 	return errors.Is(err, ErrInternal) || errors.Is(err, ErrOverloaded) ||
 		errors.Is(err, ErrStaleReplica)
