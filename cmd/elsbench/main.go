@@ -40,6 +40,13 @@
 // client-observed p99 round-trip latency (server_p99_ms) and the fraction
 // of requests the admission bulkhead shed with the typed overload error
 // (shed_rate).
+//
+// -max-memory additionally benchmarks the memory-governance layer: the
+// seeded differential workload is executed under that per-query byte
+// budget so oversized hash-join build sides spill to disk, and the report
+// records the fraction of queries that spilled (spill_rate), the largest
+// per-query working-set high-water mark (peak_query_bytes), and the total
+// spilled run volume (memory_spilled_bytes).
 package main
 
 import (
@@ -57,8 +64,13 @@ import (
 
 	els "repro"
 	"repro/internal/admission"
+	"repro/internal/cardest"
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/executor"
 	"repro/internal/experiment"
 	"repro/internal/governor"
+	"repro/internal/optimizer"
 	"repro/internal/querygen"
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -79,6 +91,7 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "durable catalog directory: persist the Section 8 statistics catalog, checkpoint on exit, and measure recovery_ms")
 		replicas      = flag.Int("replicas", 0, "with -data-dir: attach N WAL-shipped read replicas, measure cold catch-up time and follower read throughput")
 		serverBench   = flag.Bool("server", false, "benchmark the wire server: oversubscribed client swarm against an in-process elsserve tenant, measure server_p99_ms and shed_rate")
+		maxMemory     = flag.Int64("max-memory", 0, "benchmark memory governance: per-query byte budget for the spill workload, measure spill_rate and peak_query_bytes (0 = skip)")
 	)
 	flag.Parse()
 	report := &experiment.BenchReport{Scale: *scale, Seed: *seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
@@ -118,6 +131,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stdout, "server: p99 round trip %.3f ms; %.1f%% of swarm requests shed by admission\n",
 			report.ServerP99Millis, report.ShedRate*100)
+	}
+	if *maxMemory > 0 {
+		if err := measureMemory(*maxMemory, *seed, report); err != nil {
+			fmt.Fprintln(os.Stderr, "elsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "memory governance at %d bytes/query: %.1f%% of queries spilled; peak query working set %d bytes; %d bytes spilled to disk\n",
+			*maxMemory, report.SpillRate*100, report.PeakQueryBytes, report.MemorySpilledBytes)
 	}
 	if *jsonPath != "" {
 		if err := experiment.WriteBenchJSON(*jsonPath, report); err != nil {
@@ -591,6 +612,65 @@ func measureServer(report *experiment.BenchReport) error {
 	p99 := all[len(all)*99/100]
 	report.ServerP99Millis = float64(p99.Microseconds()) / 1000
 	report.ShedRate = float64(sheds) / float64(len(all))
+	return nil
+}
+
+// measureMemory benchmarks the memory-governance layer: the seeded
+// differential workload — hash joins only, so every oversized build side
+// takes the spill path rather than failing — executed under a per-query
+// byte budget. The fraction of queries whose hash joins spilled lands in
+// spill_rate, the largest per-query ledger high-water mark in
+// peak_query_bytes, and the total run volume written to disk in
+// memory_spilled_bytes.
+func measureMemory(maxMemory, seed int64, report *experiment.BenchReport) error {
+	const queries = 100
+	spillDir, err := os.MkdirTemp("", "elsbench-spill")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(spillDir)
+	var spilled int
+	for s := int64(0); s < queries; s++ {
+		q := querygen.Generate(seed + s)
+		q.Methods = []optimizer.JoinMethod{optimizer.HashJoin}
+		cat := catalog.New()
+		for _, spec := range q.Specs {
+			tbl, err := datagen.Generate(spec, q.DataSeed+int64(len(spec.Name)))
+			if err != nil {
+				return fmt.Errorf("memory workload seed %d: datagen: %w", seed+s, err)
+			}
+			if _, err := cat.Analyze(tbl, catalog.AnalyzeOptions{}); err != nil {
+				return fmt.Errorf("memory workload seed %d: analyze: %w", seed+s, err)
+			}
+		}
+		est, err := cardest.New(cat, q.Tables, q.Preds, cardest.ELS())
+		if err != nil {
+			return fmt.Errorf("memory workload seed %d: cardest: %w", seed+s, err)
+		}
+		opt, err := optimizer.New(est, optimizer.Options{Methods: q.Methods, Workers: 1})
+		if err != nil {
+			return fmt.Errorf("memory workload seed %d: optimizer: %w", seed+s, err)
+		}
+		plan, err := opt.BestPlan()
+		if err != nil {
+			return fmt.Errorf("memory workload seed %d: plan: %w", seed+s, err)
+		}
+		gov := governor.New(context.Background(), governor.Limits{MaxMemory: maxMemory})
+		exec := executor.NewGoverned(cat, gov)
+		exec.SetSpillDir(spillDir)
+		if _, err := exec.Execute(plan); err != nil {
+			return fmt.Errorf("memory workload seed %d: execute: %w", seed+s, err)
+		}
+		count, bytes := gov.SpillStats()
+		if count > 0 {
+			spilled++
+		}
+		report.MemorySpilledBytes += bytes
+		if _, peak, _ := gov.MemoryUsage(); peak > report.PeakQueryBytes {
+			report.PeakQueryBytes = peak
+		}
+	}
+	report.SpillRate = float64(spilled) / float64(queries)
 	return nil
 }
 

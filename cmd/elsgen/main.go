@@ -47,13 +47,14 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for generation (0 = none)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission control: max concurrently admitted generations (0 = unlimited)")
 	queueTimeout := flag.Duration("queue-timeout", 0, "admission control: max time the run waits for a slot (0 = forever)")
+	maxMemory := flag.Int64("max-memory", 0, "per-query working-memory byte budget for the durable session that persists statistics (-data-dir); 0 = none")
 	name := flag.String("name", "gen", "table name for the durable catalog entry (-data-dir)")
 	dataDir := flag.String("data-dir", "", "durable catalog directory: record the generated table's exact statistics, checkpointed on exit")
 	flag.Parse()
 
 	err := admitted(*maxConcurrent, *queueTimeout, func() error {
 		return withTimeout(*timeout, func() error {
-			return run(*rows, *cols, *seed, *header, *workers, *name, *dataDir, os.Stdout)
+			return run(*rows, *cols, *seed, *header, *workers, *maxMemory, *name, *dataDir, os.Stdout)
 		})
 	})
 	if err != nil {
@@ -100,7 +101,7 @@ func withTimeout(d time.Duration, f func() error) error {
 	}
 }
 
-func run(rows int, cols string, seed int64, header bool, workers int, name, dataDir string, w io.Writer) error {
+func run(rows int, cols string, seed int64, header bool, workers int, maxMemory int64, name, dataDir string, w io.Writer) error {
 	spec := datagen.TableSpec{Name: name, Rows: rows}
 	var names []string
 	for _, c := range strings.Split(cols, ",") {
@@ -150,7 +151,7 @@ func run(rows int, cols string, seed int64, header bool, workers int, name, data
 		}
 	}
 	if dataDir != "" {
-		if err := persistStats(dataDir, name, names, tbl); err != nil {
+		if err := persistStats(dataDir, name, names, maxMemory, tbl); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "elsgen: recorded statistics for %q in %s\n", name, dataDir)
@@ -162,7 +163,7 @@ func run(rows int, cols string, seed int64, header bool, workers int, name, data
 // and per-column distinct counts computed from the data — in the durable
 // catalog at dir. The declaration goes through the WAL (acknowledged only
 // after fsync) and is compacted into a checkpoint before the tool exits.
-func persistStats(dir, name string, colNames []string, tbl *storage.Table) error {
+func persistStats(dir, name string, colNames []string, maxMemory int64, tbl *storage.Table) error {
 	distinct := make(map[string]float64, len(colNames))
 	seen := make(map[int64]struct{})
 	for c, cn := range colNames {
@@ -175,6 +176,9 @@ func persistStats(dir, name string, colNames []string, tbl *storage.Table) error
 	sys, err := els.Open(dir)
 	if err != nil {
 		return err
+	}
+	if maxMemory > 0 {
+		sys.SetLimits(els.Limits{MaxMemory: maxMemory})
 	}
 	if err := sys.DeclareStats(name, float64(tbl.NumRows()), distinct); err != nil {
 		return err

@@ -9,7 +9,8 @@
 //
 //	elsserve -addr 127.0.0.1:7447 -tenants acme,globex [-data-dir DIR]
 //	         [-max-concurrent N] [-queue-depth N] [-queue-timeout D]
-//	         [-timeout D] [-retries N] [-breaker-threshold N]
+//	         [-timeout D] [-max-memory N] [-memory-pool N]
+//	         [-retries N] [-breaker-threshold N]
 //	         [-idle-timeout D] [-drain-timeout D] [-demo]
 //	         [-log events.jsonl] [-enable-fault-ops]
 //
@@ -47,6 +48,8 @@ func main() {
 		queueLen  = flag.Int("queue-depth", 64, "per-tenant admission queue depth")
 		queueTO   = flag.Duration("queue-timeout", 2*time.Second, "per-tenant admission queue timeout")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-query wall-clock budget")
+		maxMemory = flag.Int64("max-memory", 0, "per-query working-memory byte budget (0 = none); hash joins over it spill to disk")
+		memPool   = flag.Int64("memory-pool", 0, "process-wide working-memory pool in bytes, split into equal per-tenant shares; reservations over a share shed with a retryable pressure error (0 = off)")
 		retries   = flag.Int("retries", 0, "per-tenant retry attempts for transient failures (0 = off)")
 		brkThresh = flag.Int("breaker-threshold", 0, "per-tenant circuit-breaker trip threshold (0 = off)")
 		idleTO    = flag.Duration("idle-timeout", 2*time.Minute, "per-connection idle read timeout")
@@ -58,14 +61,14 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*addr, *tenants, *dataDir, *maxConc, *queueLen, *queueTO, *timeout,
-		*retries, *brkThresh, *idleTO, *drainTO, *demo, *logPath, *faultOps, *poison); err != nil {
+		*maxMemory, *memPool, *retries, *brkThresh, *idleTO, *drainTO, *demo, *logPath, *faultOps, *poison); err != nil {
 		fmt.Fprintln(os.Stderr, "elsserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, tenantList, dataDir string, maxConc, queueLen int, queueTO, timeout time.Duration,
-	retries, brkThresh int, idleTO, drainTO time.Duration, demo bool, logPath string, faultOps bool, poison int) error {
+	maxMemory, memPool int64, retries, brkThresh int, idleTO, drainTO time.Duration, demo bool, logPath string, faultOps bool, poison int) error {
 	var logW io.Writer
 	switch logPath {
 	case "":
@@ -85,6 +88,7 @@ func run(addr, tenantList, dataDir string, maxConc, queueLen int, queueTO, timeo
 		MaxConcurrent: maxConc,
 		MaxQueue:      queueLen,
 		QueueTimeout:  queueTO,
+		MaxMemory:     maxMemory,
 	}
 	cfg := server.Config{
 		Addr:            addr,
@@ -92,6 +96,7 @@ func run(addr, tenantList, dataDir string, maxConc, queueLen int, queueTO, timeo
 		IdleTimeout:     idleTO,
 		PoisonThreshold: poison,
 		EnableFaultOps:  faultOps,
+		MemoryPool:      memPool,
 		LogW:            logW,
 	}
 	for _, name := range strings.Split(tenantList, ",") {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -184,4 +185,83 @@ func TestExportImportStatsFile(t *testing.T) {
 	if err := dst.ImportStatsFile(filepath.Join(dir, "missing.json")); !errors.Is(err, ErrBadStats) {
 		t.Fatalf("missing stats file: %v, want ErrBadStats", err)
 	}
+}
+
+// TestOpenSweepsOrphanedSpills pins the crash-recovery contract for the
+// spill path: *.spill runs a crash mid-spill left behind — whether a
+// stray run at the directory root or a whole per-query temp dir under
+// spill/ — are collected by the next Open, and a budgeted query through
+// the reopened system spills and cleans up after itself.
+func TestOpenSweepsOrphanedSpills(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant orphans the way a crash would leave them.
+	qdir := filepath.Join(dir, "spill", "q12345")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, orphan := range []string{
+		filepath.Join(qdir, "b0-0.spill"),
+		filepath.Join(dir, "stray.spill"),
+	} {
+		if err := os.WriteFile(orphan, []byte("torn run"), 0o644); err != nil { //atomicwrite:allow test plants crash orphans
+			t.Fatal(err)
+		}
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close(context.Background())
+	if leaked := findSpillFiles(t, dir); len(leaked) != 0 {
+		t.Fatalf("Open left crash orphans behind: %v", leaked)
+	}
+
+	// A budgeted join big enough to overflow its budget spills under
+	// <dir>/spill and removes its runs on completion.
+	mkRows := func(n, dom int) [][]int64 {
+		rows := make([][]int64, n)
+		for i := range rows {
+			rows[i] = []int64{int64(i % dom)}
+		}
+		return rows
+	}
+	if err := re.LoadTable("H1", []string{"k"}, mkRows(900, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.LoadTable("H2", []string{"k"}, mkRows(1100, 40)); err != nil {
+		t.Fatal(err)
+	}
+	re.SetLimits(Limits{MaxMemory: 4096})
+	res, err := re.Query("SELECT COUNT(*) FROM H1, H2 WHERE H1.k = H2.k", AlgorithmELS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpillCount == 0 {
+		t.Fatal("the 4 KiB budget did not force the join to spill")
+	}
+	if leaked := findSpillFiles(t, dir); len(leaked) != 0 {
+		t.Fatalf("completed spilled query leaked runs: %v", leaked)
+	}
+}
+
+// findSpillFiles returns every *.spill path under dir at any depth.
+func findSpillFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var files []string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, ".spill") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files
 }

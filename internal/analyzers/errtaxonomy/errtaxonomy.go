@@ -165,10 +165,10 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 		pkg := importedPkg(pass, sel.X)
 		switch {
 		case pkg == "errors" && sel.Sel.Name == "New":
-			pass.Reportf(call.Pos(), "errors.New in package els wraps no taxonomy sentinel; use fmt.Errorf(\"...: %%w\", ErrParse/ErrBadStats/ErrCanceled/ErrBudgetExceeded/ErrOverloaded/ErrDurability/ErrStaleReplica/ErrDiverged/ErrBadWire/ErrTenant/ErrInternal)")
+			pass.Reportf(call.Pos(), "errors.New in package els wraps no taxonomy sentinel; use fmt.Errorf(\"...: %%w\", ErrParse/ErrBadStats/ErrCanceled/ErrBudgetExceeded/ErrOverloaded/ErrDurability/ErrStaleReplica/ErrDiverged/ErrBadWire/ErrTenant/ErrMemory/ErrInternal)")
 		case pkg == "fmt" && sel.Sel.Name == "Errorf":
 			if lit := formatLiteral(call); lit != "" && !strings.Contains(lit, "%w") {
-				pass.Reportf(call.Pos(), "fmt.Errorf in package els wraps no taxonomy sentinel; chain one with %%w (ErrParse/ErrBadStats/ErrCanceled/ErrBudgetExceeded/ErrOverloaded/ErrDurability/ErrStaleReplica/ErrDiverged/ErrBadWire/ErrTenant/ErrInternal)")
+				pass.Reportf(call.Pos(), "fmt.Errorf in package els wraps no taxonomy sentinel; chain one with %%w (ErrParse/ErrBadStats/ErrCanceled/ErrBudgetExceeded/ErrOverloaded/ErrDurability/ErrStaleReplica/ErrDiverged/ErrBadWire/ErrTenant/ErrMemory/ErrInternal)")
 			}
 		}
 		return true

@@ -13,4 +13,6 @@ var (
 	ErrBeta = taxo.ErrBeta
 	// ErrGamma aliases the canonical sentinel.
 	ErrGamma = taxo.ErrGamma
+	// ErrDelta aliases the canonical sentinel.
+	ErrDelta = taxo.ErrDelta
 )

@@ -11,4 +11,8 @@ var (
 	ErrBeta = errors.New("beta")
 	// ErrGamma is a terminal sentinel.
 	ErrGamma = errors.New("gamma")
+	// ErrDelta is a terminal sentinel added after the wire table shipped —
+	// the grow-the-taxonomy case (modeled on the memory budget class): the
+	// analyzer must force a table row for it in every projection.
+	ErrDelta = errors.New("delta")
 )

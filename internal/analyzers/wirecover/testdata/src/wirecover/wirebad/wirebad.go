@@ -9,10 +9,11 @@ import (
 	"wirecover/taxo"
 )
 
-// codes misses ErrGamma entirely, maps ErrBeta twice, and reuses "alpha".
+// codes misses ErrDelta and ErrGamma entirely (the report lists every
+// uncovered sentinel, sorted), maps ErrBeta twice, and reuses "alpha".
 //
 //wirecover:table
-var codes = []struct { // want `wire code table covers no code for sentinel\(s\) wirecover/taxo.ErrGamma`
+var codes = []struct { // want `wire code table covers no code for sentinel\(s\) wirecover/taxo.ErrDelta, wirecover/taxo.ErrGamma`
 	Code string
 	Err  error
 }{

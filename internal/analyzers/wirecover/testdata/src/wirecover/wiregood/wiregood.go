@@ -20,6 +20,7 @@ var codes = []struct {
 	{"alpha", taxo.ErrAlpha},
 	{"beta", taxo.ErrBeta},
 	{"gamma", taxo.ErrGamma},
+	{"delta", taxo.ErrDelta},
 }
 
 // Retryable is the declared retry classification.

@@ -1,0 +1,42 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Spill artifact layout, shared with internal/executor: a governed query
+// that spills a hash-join build writes crc32-framed run files named
+// *<SpillSuffix> inside a per-query temp directory under the system's
+// <dir>/<SpillDirName> tree. Runs are deleted with the per-query dir the
+// moment the query finishes, so anything still present when a directory is
+// opened was orphaned by a crash mid-spill.
+const (
+	// SpillDirName is the subdirectory of a durable catalog dir that holds
+	// per-query spill temp dirs.
+	SpillDirName = "spill"
+	// SpillSuffix is the filename suffix of hash-join spill run files.
+	SpillSuffix = ".spill"
+)
+
+// SweepSpills removes orphaned spill artifacts under dir: stray
+// *<SpillSuffix> run files at the top level and every per-query temp dir
+// in the <dir>/<SpillDirName> subtree. Open calls it before recovery —
+// no query can be in flight, so everything it finds is garbage from a
+// crash. Failures are ignored (a sweep that cannot delete changes
+// nothing about catalog correctness; the next Open retries).
+func SweepSpills(dir string) {
+	if runs, err := filepath.Glob(filepath.Join(dir, "*"+SpillSuffix)); err == nil {
+		for _, r := range runs {
+			os.Remove(r)
+		}
+	}
+	root := filepath.Join(dir, SpillDirName)
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		os.RemoveAll(filepath.Join(root, e.Name()))
+	}
+}

@@ -63,6 +63,12 @@ func (e *Executor) scanRangeColumnar(base *storage.Table, start, end int, filter
 			return err
 		}
 		sel := selArena.Get(n)
+		arena := int64(8 * cap(sel))
+		e.gov.ChargeBytes(arena) // batch-arena scratch, released with the batch
+		put := func() {
+			e.gov.ReleaseBytes(arena)
+			selArena.Put(sel)
+		}
 		for r := b; r < bEnd; r++ {
 			sel = append(sel, r)
 		}
@@ -75,15 +81,15 @@ func (e *Executor) scanRangeColumnar(base *storage.Table, start, end int, filter
 		sel = disjSel(base, orFilter, sel, stats)
 		if len(sel) > 0 {
 			if err := e.gov.TickRows(int64(len(sel))); err != nil {
-				selArena.Put(sel)
+				put()
 				return err
 			}
 			if err := out.AppendGather(base, sel); err != nil {
-				selArena.Put(sel)
+				put()
 				return err
 			}
 		}
-		selArena.Put(sel)
+		put()
 	}
 	return nil
 }
@@ -300,9 +306,12 @@ func (e *Executor) columnarHashJoin(left, right *storage.Table, lKey, rKey int,
 	case storage.TypeFloat64:
 		lk := floatKeys(ld.Floats)
 		rk := floatKeys(rd.Floats)
+		arena := int64(8 * (cap(lk) + cap(rk)))
+		e.gov.ChargeBytes(arena) // key-arena scratch, released with the join
 		out, ok, err := colJoin(e, left, right, lk, rk, ld.Nulls, rd.Nulls, residual, outSchema, stats)
 		keyArena.Put(lk)
 		keyArena.Put(rk)
+		e.gov.ReleaseBytes(arena)
 		return out, ok, err
 	case storage.TypeString:
 		return colJoin(e, left, right, ld.Strs, rd.Strs, ld.Nulls, rd.Nulls, residual, outSchema, stats)
@@ -382,9 +391,12 @@ func probeChunk[K comparable](e *Executor, left, right *storage.Table, lk []K, l
 	}
 	lsel := selArena.Get(colBatch)
 	rsel := selArena.Get(colBatch)
+	arena := int64(8 * (cap(lsel) + cap(rsel)))
+	e.gov.ChargeBytes(arena) // pair-batch arena scratch, released with the chunk
 	defer func() {
 		selArena.Put(lsel)
 		selArena.Put(rsel)
+		e.gov.ReleaseBytes(arena)
 	}()
 	flush := func() error {
 		if len(lsel) == 0 {

@@ -91,10 +91,11 @@ type Result struct {
 
 // Executor runs plans against the data tables of one catalog.
 type Executor struct {
-	cat     *catalog.Catalog
-	gov     *governor.Governor
-	workers int
-	rowOnly bool // SetColumnar(false): force the row-at-a-time engine
+	cat      *catalog.Catalog
+	gov      *governor.Governor
+	workers  int
+	rowOnly  bool   // SetColumnar(false): force the row-at-a-time engine
+	spillDir string // SetSpillDir: parent of per-query spill dirs
 }
 
 // New creates an executor over the catalog's registered data tables.
@@ -209,8 +210,30 @@ func (e *Executor) run(plan optimizer.Plan, stats *Stats, rec *recorder, depth i
 	if err != nil {
 		return nil, err
 	}
+	// Charge the materialized operator output to the bytes ledger. The
+	// charge happens once per node at its boundary — identical totals
+	// whichever engine or worker count produced the rows — which is what
+	// keeps downstream spill decisions deterministic. Inputs consumed by
+	// a join are released in runJoin; output size itself is bounded by
+	// MaxRows, not MaxMemory.
+	if e.gov != nil {
+		e.gov.ChargeBytes(tbl.ApproxBytes())
+	}
 	rec.fill(idx, int64(tbl.NumRows()))
 	return tbl, nil
+}
+
+// releaseTables returns consumed input materializations to the bytes
+// ledger once the operator that read them has produced its output.
+func (e *Executor) releaseTables(tbls ...*storage.Table) {
+	if e.gov == nil {
+		return
+	}
+	for _, t := range tbls {
+		if t != nil {
+			e.gov.ReleaseBytes(t.ApproxBytes())
+		}
+	}
 }
 
 // qualifiedSchema builds the output schema of a scan: every column renamed
@@ -303,21 +326,41 @@ func (e *Executor) runJoin(j *optimizer.Join, stats *Stats, rec *recorder, depth
 	}
 	switch j.Method {
 	case optimizer.NestedLoop:
-		return e.nestedLoop(j, left, stats, rec, depth)
+		out, err := e.nestedLoop(j, left, stats, rec, depth)
+		if err != nil {
+			return nil, err
+		}
+		e.releaseTables(left)
+		return out, nil
 	case optimizer.SortMerge:
 		right, err := e.run(j.Right, stats, rec, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		return e.sortMerge(j, left, right, stats)
+		out, err := e.sortMerge(j, left, right, stats)
+		if err != nil {
+			return nil, err
+		}
+		e.releaseTables(left, right)
+		return out, nil
 	case optimizer.HashJoin:
 		right, err := e.run(j.Right, stats, rec, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		return e.hashJoin(j, left, right, stats)
+		out, err := e.hashJoin(j, left, right, stats)
+		if err != nil {
+			return nil, err
+		}
+		e.releaseTables(left, right)
+		return out, nil
 	case optimizer.IndexNL:
-		return e.indexNL(j, left, stats, rec, depth)
+		out, err := e.indexNL(j, left, stats, rec, depth)
+		if err != nil {
+			return nil, err
+		}
+		e.releaseTables(left)
+		return out, nil
 	default:
 		return nil, fmt.Errorf("executor: unknown join method %v", j.Method)
 	}
@@ -489,12 +532,20 @@ func (e *Executor) nestedLoop(j *optimizer.Join, left *storage.Table, stats *Sta
 	}
 	workers := e.resolveWorkers()
 	ranges := chunkRanges(left.NumRows(), workers)
+	var out *storage.Table
 	if workers > 1 && len(ranges) > 1 {
-		return e.parallelNestedLoop(left, in, in.joinFilter, outSchema, workers, ranges, stats)
+		out, err = e.parallelNestedLoop(left, in, in.joinFilter, outSchema, workers, ranges, stats)
+	} else {
+		out = storage.NewTable("join", outSchema)
+		err = e.nlRange(left, in, in.joinFilter, out, 0, left.NumRows(), stats)
 	}
-	out := storage.NewTable("join", outSchema)
-	if err := e.nlRange(left, in, in.joinFilter, out, 0, left.NumRows(), stats); err != nil {
+	if err != nil {
 		return nil, err
+	}
+	if !in.rescan {
+		// A materialized (bushy) inner was charged by its own run; it dies
+		// with this join.
+		e.releaseTables(in.base)
 	}
 	return out, nil
 }
@@ -556,6 +607,15 @@ func (e *Executor) sortMerge(j *optimizer.Join, left, right *storage.Table, stat
 	if err != nil {
 		return nil, err
 	}
+
+	// The sort permutations are non-spillable scratch: unlike a hash
+	// build they cannot go to disk, so a budget that cannot cover them
+	// fails the query with a typed ErrMemory rather than overrunning.
+	scratch := int64(8) * (int64(left.NumRows()) + int64(right.NumRows()))
+	if err := e.gov.GrabBytes(scratch, "sort-merge scratch"); err != nil {
+		return nil, err
+	}
+	defer e.gov.ReleaseBytes(scratch)
 
 	lIdx := left.SortedIndices(lKey)
 	rIdx := right.SortedIndices(rKey)
@@ -640,6 +700,19 @@ func (e *Executor) hashJoin(j *optimizer.Join, left, right *storage.Table, stats
 	residual, err := compileAll(residuals, outSchema)
 	if err != nil {
 		return nil, err
+	}
+	if e.gov != nil {
+		// The build side pins the whole right input plus its hash map for
+		// the duration of the join. Its deterministic footprint (the input
+		// bytes, identical across engines and worker counts) both feeds the
+		// spill decision and is charged as working memory on the in-memory
+		// paths.
+		need := right.ApproxBytes()
+		if e.gov.ShouldSpill(need) {
+			return e.spillHashJoin(left, right, lKey, rKey, residual, outSchema, stats, need)
+		}
+		e.gov.ChargeBytes(need)
+		defer e.gov.ReleaseBytes(need)
 	}
 	if e.useColumnar() {
 		if out, ok, cerr := e.columnarHashJoin(left, right, lKey, rKey, residual, outSchema, stats); ok {

@@ -83,6 +83,13 @@ var (
 	// quarantined it as degraded (repeated internal errors or a frozen
 	// durable store). Other tenants on the same server are unaffected.
 	ErrTenant = errors.New("els: tenant unavailable")
+	// ErrMemory reports that a query's byte budget (Limits.MaxMemory) was
+	// exhausted by working memory that could not be spilled to disk, or
+	// that the spill machinery itself failed while trying to stay under
+	// the budget. Unlike ErrOverloaded it is a property of the query
+	// against its budget, not of system load: resubmitting the same query
+	// under the same budget fails the same way, so it is not retryable.
+	ErrMemory = errors.New("els: memory budget exceeded")
 )
 
 // BudgetError is the concrete error for an exhausted budget. It matches
@@ -222,6 +229,50 @@ func (e *TenantError) Error() string {
 // Unwrap makes errors.Is(err, ErrTenant) hold.
 func (e *TenantError) Unwrap() error { return ErrTenant }
 
+// MemoryError is the concrete error for an exhausted byte budget. It
+// matches ErrMemory under errors.Is and names the allocation site that
+// could not be served within Limits.MaxMemory.
+type MemoryError struct {
+	// Operator names the materialization that tripped the budget (e.g.
+	// "sort-merge scratch", "spill write").
+	Operator string
+	// Limit is the configured MaxMemory budget in bytes; Used is the
+	// working set charged at detection; Requested is the allocation that
+	// did not fit. Requested may be zero when the failure is a spill I/O
+	// error rather than an oversized allocation.
+	Limit, Used, Requested int64
+}
+
+func (e *MemoryError) Error() string {
+	return fmt.Sprintf("els: memory budget exceeded: %s needs %d bytes (%d of %d in use)",
+		e.Operator, e.Requested, e.Used, e.Limit)
+}
+
+// Unwrap makes errors.Is(err, ErrMemory) hold.
+func (e *MemoryError) Unwrap() error { return ErrMemory }
+
+// MemoryPressureError is the concrete error for a query shed because the
+// serving process's shared memory pool could not cover its reservation.
+// Pressure is a property of the system's load, not of the query — the
+// same query succeeds when neighbors release their shares — so it matches
+// ErrOverloaded (retryable) under errors.Is, not ErrMemory.
+type MemoryPressureError struct {
+	// Tenant names the tenant whose share was exhausted.
+	Tenant string
+	// Requested is the admission-time byte reservation that did not fit;
+	// InUse is the tenant's outstanding reservation total; Share is the
+	// tenant's slice of the process-wide pool.
+	Requested, InUse, Share int64
+}
+
+func (e *MemoryPressureError) Error() string {
+	return fmt.Sprintf("els: overloaded: memory pool exhausted: tenant %q needs %d bytes (%d of %d-byte share in use)",
+		e.Tenant, e.Requested, e.InUse, e.Share)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) hold.
+func (e *MemoryPressureError) Unwrap() error { return ErrOverloaded }
+
 // Limits configures per-query resource budgets and parallelism. The zero
 // value enforces nothing and uses the default worker count.
 type Limits struct {
@@ -285,13 +336,21 @@ type Limits struct {
 	// default. Like the admission fields it governs the system, not a
 	// single query's budget.
 	PlanCacheSize int
+	// MaxMemory bounds one query's working memory in bytes; 0 disables.
+	// Hash-join build sides that would not fit spill to disk (Grace-style
+	// partitioning, bit-identical results); non-spillable working memory
+	// (sort scratch) that would not fit fails with ErrMemory. Materialized
+	// operator outputs are charged to the bytes ledger for observability
+	// but are bounded by MaxRows, not MaxMemory, so a budgeted query
+	// returns the same rows as an unbudgeted one.
+	MaxMemory int64
 }
 
 // Enforced reports whether any budget limit is set (Workers is a
 // parallelism degree, and the admission fields govern the system rather
 // than a single query's budget; none of them count).
 func (l Limits) Enforced() bool {
-	return l.Timeout > 0 || l.MaxTuples > 0 || l.MaxRows > 0 || l.MaxPlans > 0
+	return l.Timeout > 0 || l.MaxTuples > 0 || l.MaxRows > 0 || l.MaxPlans > 0 || l.MaxMemory > 0
 }
 
 // Admission reports whether admission control is configured.
@@ -320,6 +379,19 @@ type Governor struct {
 	plans      atomic.Int64
 	queueWait  atomic.Int64 // nanoseconds spent waiting for admission
 	sinceCheck atomic.Int64
+
+	// Bytes ledger. memBytes is the live working set; memPeak its
+	// high-water mark; memReserved the planner's estimate-informed
+	// pre-reservation; spills/spilledBytes count hash-join build sides
+	// that went to disk. Charges at operator boundaries are deterministic
+	// for a given plan, which is what keeps the spill decision — and
+	// therefore the result bytes — identical across worker counts and
+	// engines.
+	memBytes     atomic.Int64
+	memPeak      atomic.Int64
+	memReserved  atomic.Int64
+	spills       atomic.Int64
+	spilledBytes atomic.Int64
 }
 
 // New creates a governor for one query. ctx may be nil (treated as
@@ -455,4 +527,131 @@ func (g *Governor) QueueWait() time.Duration {
 		return 0
 	}
 	return time.Duration(g.queueWait.Load())
+}
+
+// MemoryEnforced reports whether the query has a byte budget; spill
+// decisions and hard memory grabs engage only when it does, so a query
+// without MaxMemory behaves exactly as before the ledger existed.
+func (g *Governor) MemoryEnforced() bool {
+	return g != nil && g.limits.MaxMemory > 0
+}
+
+// MaxMemory returns the configured byte budget (0 for none).
+func (g *Governor) MaxMemory() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.limits.MaxMemory
+}
+
+// ReserveBytes records the planner's estimate-informed pre-reservation:
+// the working memory the plan is expected to need, derived from the ELS
+// estimates before execution starts. A hash-join build side that turns
+// out larger than the reservation spills immediately — the estimate was
+// wrong, so the budget stops trusting it — rather than growing toward
+// the OOM cliff.
+func (g *Governor) ReserveBytes(n int64) {
+	if g == nil || n <= 0 {
+		return
+	}
+	g.memReserved.Store(n)
+}
+
+// ReservedBytes reports the pre-reservation (0 when none was made).
+func (g *Governor) ReservedBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.memReserved.Load()
+}
+
+// ChargeBytes adds n bytes to the working-set ledger. It is accounting,
+// not enforcement: materialization points charge unconditionally so the
+// ledger is exact, and the spill/grab decision points read it. Pass a
+// negative n via ReleaseBytes instead.
+func (g *Governor) ChargeBytes(n int64) {
+	if g == nil || n == 0 {
+		return
+	}
+	used := g.memBytes.Add(n)
+	for {
+		peak := g.memPeak.Load()
+		if used <= peak || g.memPeak.CompareAndSwap(peak, used) {
+			return
+		}
+	}
+}
+
+// ReleaseBytes returns n bytes to the ledger when a charged
+// materialization dies (operator inputs consumed, scratch freed, spill
+// buffers flushed).
+func (g *Governor) ReleaseBytes(n int64) {
+	if g == nil || n == 0 {
+		return
+	}
+	g.memBytes.Add(-n)
+}
+
+// GrabBytes charges n bytes of non-spillable working memory (e.g. sort
+// scratch), failing with a *MemoryError when the budget cannot cover it.
+// Call sites must ReleaseBytes(n) when the scratch dies iff the grab
+// succeeded.
+func (g *Governor) GrabBytes(n int64, operator string) error {
+	if g == nil {
+		return nil
+	}
+	if max := g.limits.MaxMemory; max > 0 {
+		if used := g.memBytes.Load(); used+n > max {
+			return &MemoryError{Operator: operator, Limit: max, Used: used, Requested: n}
+		}
+	}
+	g.ChargeBytes(n)
+	return nil
+}
+
+// ShouldSpill decides whether a hash-join build side of `need` bytes goes
+// to disk. It spills when the budget cannot cover the build on top of
+// the current working set, or when the build exceeds the planner's
+// pre-reservation — the estimate-informed early trip. The inputs (ledger
+// at an operator boundary, deterministic build size, per-query
+// reservation) are identical across worker counts and engines, so both
+// sides of the differential harness make the same call.
+func (g *Governor) ShouldSpill(need int64) bool {
+	if !g.MemoryEnforced() {
+		return false
+	}
+	if g.memBytes.Load()+need > g.limits.MaxMemory {
+		return true
+	}
+	if r := g.memReserved.Load(); r > 0 && need > r {
+		return true
+	}
+	return false
+}
+
+// RecordSpill counts one build side of n bytes written to spill runs.
+func (g *Governor) RecordSpill(n int64) {
+	if g == nil {
+		return
+	}
+	g.spills.Add(1)
+	g.spilledBytes.Add(n)
+}
+
+// MemoryUsage reports the bytes ledger: live working set, its peak, and
+// the planner's pre-reservation.
+func (g *Governor) MemoryUsage() (used, peak, reserved int64) {
+	if g == nil {
+		return 0, 0, 0
+	}
+	return g.memBytes.Load(), g.memPeak.Load(), g.memReserved.Load()
+}
+
+// SpillStats reports how many hash-join build sides spilled and the total
+// bytes written to spill runs.
+func (g *Governor) SpillStats() (count, bytes int64) {
+	if g == nil {
+		return 0, 0
+	}
+	return g.spills.Load(), g.spilledBytes.Load()
 }

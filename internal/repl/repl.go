@@ -122,11 +122,13 @@ func (p *Processor) help() error {
   stats <name>                              show a table's statistics
   algo <name>                               set the estimation algorithm
   algos                                     list algorithms
-  limits [timeout=D] [tuples=N] [rows=N] [plans=N] [workers=N]
+  limits [timeout=D] [tuples=N] [rows=N] [plans=N] [memory=N] [workers=N]
          [max-concurrent=N] [max-queue=N] [queue-timeout=D]
          [max-replica-lag=N] [columnar=on|off] [cache=on|off]
          [plan-cache-size=N]
-                                            set per-query budgets, parallelism,
+                                            set per-query budgets (memory=N is
+                                            the byte budget; over it, hash joins
+                                            spill to disk), parallelism,
                                             admission control, replica staleness,
                                             and the columnar/plan-cache engine
                                             switches ("limits off" clears)
@@ -170,13 +172,13 @@ func (p *Processor) setAlgo(args []string) error {
 	return nil
 }
 
-const limitsUsage = "usage: limits [timeout=D] [tuples=N] [rows=N] [plans=N] [workers=N] [max-concurrent=N] [max-queue=N] [queue-timeout=D] [max-replica-lag=N] [columnar=on|off] [cache=on|off] [plan-cache-size=N] | limits off"
+const limitsUsage = "usage: limits [timeout=D] [tuples=N] [rows=N] [plans=N] [memory=N] [workers=N] [max-concurrent=N] [max-queue=N] [queue-timeout=D] [max-replica-lag=N] [columnar=on|off] [cache=on|off] [plan-cache-size=N] | limits off"
 
 // formatLimits renders one line of the full limit set, budgets and
 // admission control alike.
 func formatLimits(l els.Limits) string {
-	return fmt.Sprintf("timeout=%s tuples=%d rows=%d plans=%d workers=%d max-concurrent=%d max-queue=%d queue-timeout=%s max-replica-lag=%d columnar=%s cache=%s plan-cache-size=%d",
-		l.Timeout, l.MaxTuples, l.MaxRows, l.MaxPlans, l.Workers,
+	return fmt.Sprintf("timeout=%s tuples=%d rows=%d plans=%d memory=%d workers=%d max-concurrent=%d max-queue=%d queue-timeout=%s max-replica-lag=%d columnar=%s cache=%s plan-cache-size=%d",
+		l.Timeout, l.MaxTuples, l.MaxRows, l.MaxPlans, l.MaxMemory, l.Workers,
 		l.MaxConcurrent, l.MaxQueue, l.QueueTimeout, l.MaxReplicaLag,
 		onOff(!l.DisableColumnar), onOff(!l.DisableCache), l.PlanCacheSize)
 }
@@ -247,7 +249,7 @@ func (p *Processor) limits(args []string) error {
 			} else {
 				l.DisableCache = !on
 			}
-		case "tuples", "rows", "plans", "workers", "max-concurrent", "max-queue", "max-replica-lag", "plan-cache-size":
+		case "tuples", "rows", "plans", "memory", "workers", "max-concurrent", "max-queue", "max-replica-lag", "plan-cache-size":
 			n, err := strconv.ParseInt(parts[1], 10, 64)
 			if err != nil {
 				p.printf("bad %s limit %q\n%s\n", key, parts[1], limitsUsage)
@@ -264,6 +266,8 @@ func (p *Processor) limits(args []string) error {
 				l.MaxRows = n
 			case "plans":
 				l.MaxPlans = n
+			case "memory":
+				l.MaxMemory = n
 			case "workers":
 				l.Workers = int(n)
 			case "max-concurrent":
@@ -276,7 +280,7 @@ func (p *Processor) limits(args []string) error {
 				l.PlanCacheSize = int(n)
 			}
 		default:
-			p.printf("unknown limit %q (want timeout, tuples, rows, plans, workers, max-concurrent, max-queue, queue-timeout, max-replica-lag, columnar, cache, plan-cache-size)\n", parts[0])
+			p.printf("unknown limit %q (want timeout, tuples, rows, plans, memory, workers, max-concurrent, max-queue, queue-timeout, max-replica-lag, columnar, cache, plan-cache-size)\n", parts[0])
 			return nil
 		}
 	}
@@ -301,6 +305,8 @@ func (p *Processor) serving() error {
 	p.printf("retries=%d retry-successes=%d\n", st.Retries, st.RetrySuccesses)
 	p.printf("breaker=%s opens=%d rejections=%d probes=%d\n",
 		st.BreakerState, st.BreakerOpens, st.BreakerRejections, st.BreakerProbes)
+	p.printf("memory: spilled-queries=%d spilled-bytes=%d peak-query-bytes=%d\n",
+		st.SpilledQueries, st.SpilledBytes, st.PeakQueryBytes)
 	c := p.sys.CacheStats()
 	p.printf("plan-cache: hits=%d misses=%d hit-rate=%.3f entries=%d/%d evictions=%d invalidations=%d\n",
 		c.Hits, c.Misses, c.HitRate(), c.Entries, c.Capacity, c.Evictions, c.Invalidations)

@@ -427,3 +427,34 @@ func TestReplicaCommands(t *testing.T) {
 		t.Errorf("closing promoted session: %v", err)
 	}
 }
+
+// The memory limit verb round-trips, and a budgeted join big enough to
+// overflow it spills to disk through the REPL, surfacing in the serving
+// output's memory counters.
+func TestLimitsMemoryVerbAndSpill(t *testing.T) {
+	out := runLines(t, "limits memory=4096", "limits")
+	if !strings.Contains(out, "memory=4096") {
+		t.Errorf("limits memory=N did not round-trip:\n%s", out)
+	}
+	out = runLines(t, "limits memory=oops")
+	if !strings.Contains(out, `bad memory limit "oops"`) {
+		t.Errorf("bad memory value not rejected:\n%s", out)
+	}
+
+	out = runLines(t,
+		"gen H1 k uniform 900 40",
+		"gen H2 k uniform 1100 40",
+		"limits memory=4096",
+		"SELECT COUNT(*) FROM H1, H2 WHERE H1.k = H2.k",
+		"serving",
+	)
+	if !strings.Contains(out, "row(s)") {
+		t.Errorf("budgeted join did not complete:\n%s", out)
+	}
+	if !strings.Contains(out, "spilled-queries=1") {
+		t.Errorf("serving output misses the spill:\n%s", out)
+	}
+	if strings.Contains(out, "peak-query-bytes=0") {
+		t.Errorf("peak query bytes not tracked:\n%s", out)
+	}
+}

@@ -60,6 +60,13 @@ type Config struct {
 	DataRoot string
 	// Tenants are the hosted bulkheads.
 	Tenants []TenantConfig
+	// MemoryPool bounds the process's total query working memory in
+	// bytes, split into equal per-tenant shares. A query-class request
+	// whose tenant reservation (its Limits.MaxMemory, or a pool-derived
+	// default) does not fit is shed immediately with a typed retryable
+	// pressure error and a Retry-After hint, instead of queueing work the
+	// process cannot hold. 0 disables the pool.
+	MemoryPool int64
 	// IdleTimeout bounds the wait for a client's next request frame
 	// before the connection is shed (default 2m). It is the stalled-client
 	// bulkhead on the read side.
@@ -94,6 +101,7 @@ type Server struct {
 	ln      net.Listener
 	tenants map[string]*tenant
 	names   []string
+	pool    *memPool
 
 	connCtx    context.Context
 	connCancel context.CancelFunc
@@ -152,6 +160,7 @@ func Start(ctx context.Context, cfg Config) (*Server, error) {
 	connCtx, connCancel := context.WithCancel(ctx)
 	s := &Server{
 		cfg:        cfg,
+		pool:       newMemPool(cfg.MemoryPool, len(cfg.Tenants)),
 		tenants:    make(map[string]*tenant, len(cfg.Tenants)),
 		conns:      make(map[net.Conn]struct{}),
 		drained:    make(chan struct{}),
@@ -412,12 +421,27 @@ func (s *Server) wireErr(req *wire.Request, err error) *wire.Error {
 	return wire.FromError(err, hint)
 }
 
+// queryReserve sizes one query's memory-pool reservation for a tenant:
+// its per-query byte budget when one is set (the pool then admits only as
+// many concurrent budgets as truly fit), otherwise a quarter of the
+// tenant's share — four unbudgeted queries per tenant at a time, whatever
+// the pool's absolute size.
+func (s *Server) queryReserve(t *tenant) int64 {
+	if m := t.sys.Limits().MaxMemory; m > 0 {
+		return m
+	}
+	return s.pool.share / 4
+}
+
 // statsDoc snapshots the observability document.
 func (s *Server) statsDoc() *wire.ServerStats {
 	doc := &wire.ServerStats{
 		ConnsAccepted: s.accepted.load(),
 		Requests:      s.requests.load(),
 		BadFrames:     s.badFrames.load(),
+		MemoryPool:    s.pool.total,
+		MemoryInUse:   s.pool.snapshot(),
+		MemSheds:      s.pool.sheds.load(),
 		Draining:      s.draining.Load(),
 		DrainMillis:   float64(s.drainNanos.Load()) / 1e6,
 		UptimeMillis:  float64(time.Since(s.start)) / 1e6,
@@ -426,7 +450,11 @@ func (s *Server) statsDoc() *wire.ServerStats {
 	doc.ActiveConns = len(s.conns)
 	s.mu.Unlock()
 	for _, name := range s.names {
-		doc.Tenants = append(doc.Tenants, s.tenants[name].stats())
+		t := s.tenants[name]
+		ts := t.stats()
+		ts.MemSheds = t.memSheds.load()
+		ts.MemInUse = s.pool.tenantInUse(name)
+		doc.Tenants = append(doc.Tenants, ts)
 	}
 	return doc
 }

@@ -53,6 +53,7 @@ type tenant struct {
 	threshold      int
 
 	requests, failures counter
+	memSheds           counter // requests the server memory pool refused
 	lat, wait          *hist
 }
 
@@ -166,6 +167,16 @@ func (t *tenant) run(ctx context.Context, s *Server, req *wire.Request, resp *wi
 		if err != nil {
 			return err
 		}
+		// Reserve the query's working memory against the process pool
+		// before it can queue: pool pressure sheds here, typed and
+		// retryable, rather than admitting work the process cannot hold.
+		release, err := s.pool.acquire(t.name, s.queryReserve(t))
+		if err != nil {
+			t.memSheds.add(1)
+			s.event("mem_shed", map[string]any{"tenant": t.name})
+			return err
+		}
+		defer release()
 		res, err := t.sys.QueryContext(ctx, req.SQL, algo)
 		if err != nil {
 			return err
@@ -261,6 +272,9 @@ func (t *tenant) stats() wire.TenantStats {
 		P50Millis:        t.lat.quantile(0.50).Seconds() * 1000,
 		P99Millis:        t.lat.quantile(0.99).Seconds() * 1000,
 		P99WaitMillis:    t.wait.quantile(0.99).Seconds() * 1000,
+		SpilledQueries:   rs.SpilledQueries,
+		SpilledBytes:     rs.SpilledBytes,
+		PeakQueryBytes:   rs.PeakQueryBytes,
 	}
 	if degraded != nil {
 		ts.DegradedReason = degraded.Error()

@@ -189,6 +189,7 @@ type Response struct {
 // Error codes: the stable wire names of the public taxonomy sentinels.
 const (
 	CodeCanceled     = "canceled"
+	CodeMemory       = "memory"
 	CodeBudget       = "budget_exceeded"
 	CodeBadStats     = "bad_stats"
 	CodeParse        = "parse"
@@ -239,6 +240,9 @@ var sentinels = []struct {
 	{CodeStaleReplica, governor.ErrStaleReplica},
 	{CodeDiverged, governor.ErrDiverged},
 	{CodeDurability, governor.ErrDurability},
+	// Memory sits above the generic budget class: if a failure ever chains
+	// both, the byte-budget code is the more actionable one.
+	{CodeMemory, governor.ErrMemory},
 	{CodeBudget, governor.ErrBudgetExceeded},
 	{CodeCanceled, governor.ErrCanceled},
 	{CodeParse, governor.ErrParse},
@@ -354,6 +358,20 @@ type TenantStats struct {
 	P50Millis     float64 `json:"p50_ms"`
 	P99Millis     float64 `json:"p99_ms"`
 	P99WaitMillis float64 `json:"p99_admission_wait_ms"`
+	// SpilledQueries and SpilledBytes mirror the tenant system's memory
+	// governance counters: queries that spilled a hash-join build to disk
+	// and the run-file bytes they wrote. PeakQueryBytes is the largest
+	// single-query working-memory high-water mark.
+	SpilledQueries uint64 `json:"spilled_queries,omitempty"`
+	SpilledBytes   int64  `json:"spilled_bytes,omitempty"`
+	PeakQueryBytes int64  `json:"peak_query_bytes,omitempty"`
+	// MemSheds counts requests the server's memory pool refused for this
+	// tenant (typed retryable pressure errors) before they reached
+	// admission.
+	MemSheds uint64 `json:"mem_sheds,omitempty"`
+	// MemInUse is the tenant's current reservation against its pool
+	// share, in bytes.
+	MemInUse int64 `json:"mem_in_use,omitempty"`
 }
 
 // ServerStats is the server observability document OpStats returns.
@@ -368,6 +386,12 @@ type ServerStats struct {
 	// (or request documents) that failed protocol validation.
 	Requests  uint64 `json:"requests"`
 	BadFrames uint64 `json:"bad_frames"`
+	// MemoryPool is the process-wide byte pool the server divides among
+	// tenants (0 = unlimited); MemoryInUse is the pool's current total
+	// reservation and MemSheds the requests refused under pool pressure.
+	MemoryPool  int64  `json:"memory_pool,omitempty"`
+	MemoryInUse int64  `json:"memory_in_use,omitempty"`
+	MemSheds    uint64 `json:"mem_sheds,omitempty"`
 	// Draining reports an in-progress graceful drain; DrainMillis is the
 	// duration of the completed drain (0 before Shutdown finishes).
 	Draining    bool    `json:"draining"`

@@ -107,6 +107,16 @@ type Result struct {
 	// Nodes holds per-node estimated-vs-actual cardinalities (EXPLAIN
 	// ANALYZE), root-first.
 	Nodes []NodeStat
+	// PeakMemoryBytes is the high-water mark of the query's byte ledger:
+	// the most working memory (operator outputs, hash-table build sides,
+	// columnar arenas, spill buffers) the query had charged at any instant.
+	// Tracked whether or not Limits.MaxMemory was set.
+	PeakMemoryBytes int64
+	// SpillCount and SpilledBytes report how many hash-join build sides
+	// exceeded their memory reservation and were partitioned to disk, and
+	// how many run-file bytes they wrote. Both are 0 for queries that ran
+	// entirely in memory.
+	SpillCount, SpilledBytes int64
 }
 
 // FormatAnalyze renders the per-node estimate-vs-actual report.
@@ -129,8 +139,18 @@ const MaxRows = 1000
 // sort-merge), extended with index nested-loops when the user has built
 // any index in the pinned catalog, governed by the query's resource
 // governor.
+//
+// Under a byte budget (Limits.MaxMemory) sort-merge is swapped for the
+// hash join: sort-merge's sort scratch must fit in memory outright (its
+// GrabBytes fails the query when it cannot), while the hash join's build
+// side degrades to the Grace spill path and completes under any budget.
+// An unbudgeted system keeps the paper repertoire exactly, so existing
+// plans, counters, and explain output are untouched.
 func optimizerOptions(cat *catalog.Catalog, gov *governor.Governor) optimizer.Options {
 	opts := optimizer.PaperOptions()
+	if gov.MemoryEnforced() {
+		opts.Methods = []optimizer.JoinMethod{optimizer.NestedLoop, optimizer.HashJoin}
+	}
 	if hasAnyIndex(cat) {
 		opts.Methods = append(opts.Methods, optimizer.IndexNL)
 	}
@@ -208,9 +228,37 @@ func (s *System) planFor(gov *governor.Governor, snap *snapshot.Snapshot, sql st
 	est.CatalogVersion = snap.Version()
 	est.GroupEstimate = estimateGroups(q, plan, opt)
 	if cache != nil {
-		cache.Put(key, &cachedPlan{plan: plan, est: *est})
+		cp := &cachedPlan{plan: plan, est: *est}
+		cache.Put(key, cp)
+		// Record the new cache entry against this query's byte ledger so
+		// plan-cache pressure is visible in PeakMemoryBytes, then release
+		// immediately: the entry's ownership transfers to the cache (whose
+		// size is bounded by Limits.PlanCacheSize, not per-query memory),
+		// and a lingering charge would make spill decisions later in the
+		// same query depend on cache hit/miss history — breaking the
+		// bit-identity contract between cold- and warm-cache runs.
+		n := cachedPlanBytes(cp)
+		gov.ChargeBytes(n)
+		gov.ReleaseBytes(n)
 	}
 	return q, plan, est, nil
+}
+
+// cachedPlanBytes approximates the footprint of one plan-cache entry: the
+// rendered plan text and step strings dominate; the fixed struct overhead
+// is a round constant.
+func cachedPlanBytes(cp *cachedPlan) int64 {
+	n := int64(512) + int64(len(cp.est.PlanText))
+	for _, s := range cp.est.Steps {
+		n += 64
+		for _, p := range s.EligiblePredicates {
+			n += int64(len(p))
+		}
+	}
+	for _, p := range cp.est.ImpliedPredicates {
+		n += int64(len(p))
+	}
+	return n
 }
 
 // cacheQueryText renders the cache key's query component: the canonical
@@ -266,6 +314,41 @@ func buildEstimate(algo Algorithm, plan optimizer.Plan, opt *optimizer.Optimizer
 	}
 	e.Warnings = opt.Estimator().Warnings()
 	return e
+}
+
+// estimateWorkingBytes sizes the estimate-informed memory reservation for
+// a plan under Limits.MaxMemory. For every hash join in the plan the build
+// (right) side is materialized at roughly EstRows × Width columns × 16
+// bytes (the storage byte model's string base footprint; integers cost
+// half that, so this over- rather than under-reserves); the reservation is
+// the largest such build doubled as a safety factor. The governor compares
+// each actual build size against this figure (Governor.ShouldSpill), so a
+// join whose true input dwarfs its estimate spills at build time instead
+// of discovering the budget cliff mid-probe. The figure is a pure function
+// of the plan — identical across engines and worker counts — which keeps
+// spill decisions deterministic.
+func estimateWorkingBytes(plan optimizer.Plan) int64 {
+	var worst float64
+	var walk func(optimizer.Plan)
+	walk = func(n optimizer.Plan) {
+		j, ok := n.(*optimizer.Join)
+		if !ok {
+			return
+		}
+		walk(j.Left)
+		walk(j.Right)
+		if j.Method == optimizer.HashJoin {
+			if b := j.Right.EstRows() * float64(16*j.Right.Width()); b > worst {
+				worst = b
+			}
+		}
+	}
+	walk(plan)
+	worst *= 2 // safety factor against modest underestimates
+	if worst > float64(1<<55) {
+		worst = float64(1 << 55)
+	}
+	return int64(worst)
 }
 
 // estimateGroups computes the GROUP BY output-size estimate with the
@@ -454,6 +537,14 @@ func (s *System) queryOn(snap *snapshot.Snapshot, gov *governor.Governor, sql st
 		return nil, err
 	}
 	exec := executor.NewGoverned(snap.Catalog(), gov)
+	exec.SetSpillDir(s.spillRoot())
+	if gov.MemoryEnforced() {
+		// Estimate-informed pre-reservation: size the working-memory
+		// reservation from the optimizer's own cardinality estimates so a
+		// wildly underestimated join trips ShouldSpill at build time —
+		// before the build is resident — rather than at the budget cliff.
+		gov.ReserveBytes(estimateWorkingBytes(plan))
+	}
 	res, err := exec.Execute(plan)
 	if err != nil {
 		return nil, err
@@ -465,6 +556,9 @@ func (s *System) queryOn(snap *snapshot.Snapshot, gov *governor.Governor, sql st
 		Comparisons:   res.Stats.Comparisons,
 		Elapsed:       res.Stats.Elapsed,
 	}
+	_, out.PeakMemoryBytes, _ = gov.MemoryUsage()
+	out.SpillCount, out.SpilledBytes = gov.SpillStats()
+	s.noteMemory(out.PeakMemoryBytes, out.SpillCount, out.SpilledBytes)
 	for _, n := range res.Nodes {
 		out.Nodes = append(out.Nodes, NodeStat{
 			Node: n.Node, Depth: n.Depth, EstimatedRows: n.EstRows, ActualRows: n.ActualRows,

@@ -19,6 +19,7 @@ import (
 //	switch {
 //	case errors.Is(err, els.ErrCanceled):       // caller gave up
 //	case errors.Is(err, els.ErrBudgetExceeded): // resource limit hit
+//	case errors.Is(err, els.ErrMemory):         // byte budget exhausted
 //	case errors.Is(err, els.ErrParse):          // bad query
 //	case errors.Is(err, els.ErrBadStats):       // rejected statistics
 //	case errors.Is(err, els.ErrOverloaded):     // shed; resubmit later
@@ -55,6 +56,7 @@ var (
 	ErrDiverged       = governor.ErrDiverged
 	ErrBadWire        = governor.ErrBadWire
 	ErrTenant         = governor.ErrTenant
+	ErrMemory         = governor.ErrMemory
 )
 
 // Retryable reports whether err names a failure worth retrying: internal
@@ -62,9 +64,9 @@ var (
 // may not), overload sheds (ErrOverloaded — a property of the system's
 // load at that instant, not of the query), and stale-replica rejections
 // (ErrStaleReplica — replicas catch up). Parse errors, bad statistics,
-// cancellation, budget exhaustion, closed systems, durability freezes,
-// divergence quarantines, and tenant quarantines are deterministic for the
-// same submission and never retry.
+// cancellation, budget exhaustion (time/tuple/row/plan and memory alike),
+// closed systems, durability freezes, divergence quarantines, and tenant
+// quarantines are deterministic for the same submission and never retry.
 //
 // Retryable is the single classification shared by the in-process retry
 // loop (SetRetryPolicy), the database/sql driver's resubmission policy,
@@ -108,6 +110,19 @@ type DivergenceError = governor.DivergenceError
 // refused to route: which tenant it addressed, why it was unavailable, and
 // whether a bulkhead quarantine (rather than absence) is the cause.
 type TenantError = governor.TenantError
+
+// MemoryError details a query killed by its byte budget: which operator
+// needed memory it could not spill its way out of, how much it asked for,
+// and the Limits.MaxMemory in force. It is deterministic for the same
+// submission and never retried.
+type MemoryError = governor.MemoryError
+
+// MemoryPressureError details a query the multi-tenant server's memory
+// pool shed before admission: the tenant, the bytes it would have
+// reserved, and the share already in use. Unlike MemoryError it unwraps to
+// ErrOverloaded — pool pressure is a property of instantaneous load, so
+// the shed is retryable and carries a Retry-After hint on the wire.
+type MemoryPressureError = governor.MemoryPressureError
 
 // SetLimits installs default resource limits applied to every subsequent
 // query on this system (each call gets a fresh budget), and reconfigures

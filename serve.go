@@ -111,6 +111,14 @@ type RobustnessStats struct {
 	// transitions to open, queries failed fast while open, and half-open
 	// probe queries admitted.
 	BreakerOpens, BreakerRejections, BreakerProbes uint64
+	// SpilledQueries counts queries that spilled at least one hash-join
+	// build side to disk under Limits.MaxMemory; SpilledBytes is the
+	// cumulative run-file bytes they wrote.
+	SpilledQueries uint64
+	SpilledBytes   int64
+	// PeakQueryBytes is the largest single-query working-memory high-water
+	// mark observed since the system started (see Result.PeakMemoryBytes).
+	PeakQueryBytes int64
 }
 
 // RobustnessStats snapshots the serving layer's counters.
@@ -132,6 +140,9 @@ func (s *System) RobustnessStats() RobustnessStats {
 		BreakerOpens:      brk.Opens,
 		BreakerRejections: brk.Rejections,
 		BreakerProbes:     brk.Probes,
+		SpilledQueries:    s.spilledQueries.Load(),
+		SpilledBytes:      s.spilledBytes.Load(),
+		PeakQueryBytes:    s.peakQueryBytes.Load(),
 	}
 }
 

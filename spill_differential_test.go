@@ -1,0 +1,103 @@
+package els
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/durable"
+	"repro/internal/executor"
+	"repro/internal/governor"
+	"repro/internal/optimizer"
+	"repro/internal/querygen"
+)
+
+// spillBudget is the per-query byte budget the spill differential runs
+// under: small enough that well over a quarter of the generated joins
+// overflow it and take the Grace spill path, large enough that scans and
+// probe-side scratch never hard-fail.
+const spillBudget = 4096
+
+// execBudgeted runs the plan under the given byte budget with spill runs
+// rooted at dir, returning the result, the governor's tuple/row charges,
+// and the governor for spill introspection.
+func execBudgeted(t *testing.T, cat *catalog.Catalog, plan optimizer.Plan, workers int, budget int64, dir string) (*executor.Result, [2]int64, *governor.Governor) {
+	t.Helper()
+	gov := governor.New(context.Background(), governor.Limits{Workers: workers, MaxMemory: budget})
+	exec := executor.NewGoverned(cat, gov)
+	exec.SetSpillDir(dir)
+	res, err := exec.Execute(plan)
+	if err != nil {
+		t.Fatalf("workers=%d budget=%d: %v", workers, budget, err)
+	}
+	tuples, rows, _ := gov.Usage()
+	return res, [2]int64{tuples, rows}, gov
+}
+
+// TestDifferentialSpillVsInMemory is the referee the memory-governance
+// tentpole is locked down by: 500 seeded random queries planned hash-only,
+// each executed unbudgeted in memory (the oracle) and then under a byte
+// budget tiny enough to force at least a quarter of them through the
+// recursive spill path, at workers 1, 4, and 8. The spilled result must be
+// bit-identical — same rows in the same order, same TuplesScanned and
+// Comparisons, same governor tuple/row charges — and no *.spill file may
+// survive the run. Divergences are appended to the ELS_DIFF_REPORT
+// artifact before the test fails.
+func TestDifferentialSpillVsInMemory(t *testing.T) {
+	queries := differentialQueries(t)
+	dir := t.TempDir()
+	spilled := int64(0)
+	for seed := int64(0); seed < queries; seed++ {
+		q := querygen.Generate(seed)
+		q.Methods = []optimizer.JoinMethod{optimizer.HashJoin}
+		cat, plan := planGenerated(t, q)
+		oracle, oracleUsage := execWorkers(t, cat, plan, 1)
+		seedSpilled := false
+		for _, workers := range []int{1, 4, 8} {
+			res, usage, gov := execBudgeted(t, cat, plan, workers, spillBudget, dir)
+			if count, _ := gov.SpillStats(); count > 0 {
+				seedSpilled = true
+			}
+			fail := func(field string, got, want any) {
+				diffReport(t, map[string]any{
+					"harness": "spill-vs-inmemory", "seed": seed, "workers": workers,
+					"query": q.String(), "field": field, "spilled": got, "inmemory": want,
+				})
+				t.Fatalf("seed %d workers %d (%s): %s %v (spilled) vs %v (in-memory)",
+					seed, workers, q, field, got, want)
+			}
+			if res.Stats.RowsProduced != oracle.Stats.RowsProduced {
+				fail("rows_produced", res.Stats.RowsProduced, oracle.Stats.RowsProduced)
+			}
+			if res.Stats.TuplesScanned != oracle.Stats.TuplesScanned {
+				fail("tuples_scanned", res.Stats.TuplesScanned, oracle.Stats.TuplesScanned)
+			}
+			if res.Stats.Comparisons != oracle.Stats.Comparisons {
+				fail("comparisons", res.Stats.Comparisons, oracle.Stats.Comparisons)
+			}
+			if usage != oracleUsage {
+				fail("governor_usage", usage, oracleUsage)
+			}
+			assertSameRows(t, seed, q, oracle.Table, res.Table)
+		}
+		if seedSpilled {
+			spilled++
+		}
+	}
+	if spilled*4 < queries {
+		t.Errorf("only %d of %d queries spilled; the acceptance bar is at least 25%%", spilled, queries)
+	}
+	var leaked []string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(path) == durable.SpillSuffix {
+			leaked = append(leaked, path)
+		}
+		return nil
+	})
+	if len(leaked) != 0 {
+		t.Errorf("spill runs leaked after %d queries: %v", queries, leaked)
+	}
+	t.Logf("spill differential: %d/%d queries spilled under a %d-byte budget", spilled, queries, spillBudget)
+}
